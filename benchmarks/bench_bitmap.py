@@ -1,0 +1,84 @@
+"""E13 — EWAH compressed bitmaps vs dense NumPy boolean covers.
+
+The original SCube uses JavaEWAH for cover storage (paper footnote 6).
+This bench quantifies the trade-off on our substrate: compressed size
+(the reason EWAH exists) against the cost of AND + popcount, on sparse,
+clustered and dense covers.
+
+Expected shape: EWAH compresses sparse/clustered covers by orders of
+magnitude; pure-Python word streaming loses to vectorised NumPy on
+throughput — which is why the miner defaults to dense covers and EWAH
+remains the storage-faithful option.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.itemsets.bitmap import EWAHBitmap
+from repro.report.text import render_table
+
+from benchmarks.conftest import write_result
+
+SIZE = 200_000
+
+
+def _make_cover(kind: str, rng: np.random.Generator) -> np.ndarray:
+    if kind == "sparse(0.1%)":
+        return rng.random(SIZE) < 0.001
+    if kind == "clustered":
+        cover = np.zeros(SIZE, dtype=bool)
+        for _ in range(20):
+            start = int(rng.integers(0, SIZE - 5000))
+            cover[start:start + 5000] = True
+        return cover
+    return rng.random(SIZE) < 0.5        # dense(50%)
+
+
+def test_bitmap_tradeoff(benchmark):
+    rng = np.random.default_rng(0)
+
+    def run_all():
+        rows = []
+        for kind in ("sparse(0.1%)", "clustered", "dense(50%)"):
+            a, b = _make_cover(kind, rng), _make_cover(kind, rng)
+            ea, eb = EWAHBitmap.from_bools(a), EWAHBitmap.from_bools(b)
+
+            start = time.perf_counter()
+            for _ in range(5):
+                numpy_count = int((a & b).sum())
+            numpy_seconds = (time.perf_counter() - start) / 5
+
+            start = time.perf_counter()
+            ewah_count = ea.intersect_count(eb)
+            ewah_seconds = time.perf_counter() - start
+
+            assert numpy_count == ewah_count
+            rows.append(
+                [
+                    kind,
+                    ea.compression_ratio(),
+                    ea.memory_words() * 8,
+                    SIZE // 8,
+                    numpy_seconds * 1e3,
+                    ewah_seconds * 1e3,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rendered = render_table(
+        ["cover", "compression", "EWAH bytes", "dense bytes",
+         "numpy AND (ms)", "EWAH AND (ms)"],
+        rows,
+    )
+    write_result(
+        "E13_bitmap",
+        f"Compressed vs dense covers ({SIZE} transactions)\n" + rendered,
+    )
+    by_kind = {r[0]: r for r in rows}
+    assert by_kind["sparse(0.1%)"][1] > 5, "sparse covers must compress"
+    assert by_kind["clustered"][1] > 10, "clustered covers must compress"
+    assert by_kind["dense(50%)"][1] < 2, "random dense covers cannot compress"

@@ -1,0 +1,77 @@
+"""E15 — Ablation: closed-coordinate materialisation vs full cube.
+
+The JIIS companion's efficiency solution (paper §2): materialise only
+*closed* coordinate itemsets — non-closed coordinates select exactly the
+same minority as their closure — and answer other point queries lazily
+from the item covers.  This bench measures what the optimisation buys
+(cells stored, build time) and what it costs (lazy point-query latency
+vs a dict hit), asserting along the way that the two modes answer every
+query identically.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.cube.builder import SegregationDataCubeBuilder
+from repro.data.italy import italy_tabular_individuals
+from repro.etl.builder import tabular_final_table
+from repro.report.text import render_table
+
+from benchmarks.conftest import write_result
+
+LIMITS = dict(min_population=20, min_minority=5, max_sa_items=2,
+              max_ca_items=2)
+
+
+def test_closed_vs_all_materialisation(benchmark, italy):
+    seats, schema = italy_tabular_individuals(italy)
+    final, final_schema = tabular_final_table(seats, schema, "sector")
+
+    def build_both():
+        rows = []
+        cubes = {}
+        for mode in ("all", "closed"):
+            start = time.perf_counter()
+            cube = SegregationDataCubeBuilder(mode=mode, **LIMITS).build(
+                final, final_schema
+            )
+            seconds = time.perf_counter() - start
+            cubes[mode] = cube
+            rows.append([mode, len(cube), seconds])
+        return rows, cubes
+
+    (rows, cubes) = benchmark.pedantic(build_both, rounds=2, iterations=1)
+
+    full, closed = cubes["all"], cubes["closed"]
+    keys = list(full.keys())
+    # Every all-mode cell must be answerable from the closed cube.
+    mismatches = 0
+    start = time.perf_counter()
+    for key in keys:
+        a = full.cell_by_key(key)
+        b = closed.cell_by_key(key)
+        if b is None or (a.population, a.minority) != (
+            b.population, b.minority
+        ):
+            mismatches += 1
+    closed_query_seconds = (time.perf_counter() - start) / len(keys)
+    start = time.perf_counter()
+    for key in keys:
+        full.cell_by_key(key)
+    full_query_seconds = (time.perf_counter() - start) / len(keys)
+
+    lines = [
+        "Closed-coordinate materialisation vs full cube",
+        render_table(["mode", "cells", "build (s)"], rows),
+        "",
+        f"cells saved by closed mode: "
+        f"{len(full) - len(closed)} of {len(full)} "
+        f"({(len(full) - len(closed)) / len(full):.1%})",
+        f"point-query latency: materialised {full_query_seconds * 1e6:.1f} "
+        f"us vs closed-with-resolver {closed_query_seconds * 1e6:.1f} us",
+        f"answer mismatches: {mismatches}",
+    ]
+    write_result("E15_closed_cube", "\n".join(lines))
+    assert mismatches == 0
+    assert len(closed) <= len(full)

@@ -1,0 +1,85 @@
+"""E12 — GraphClustering ablation: components vs threshold vs SToC.
+
+The paper ships three clustering methods because the choice shapes the
+organizational units (and therefore every downstream cell).  This bench
+compares them on the projected company graph: wall-clock time, number of
+units, giant-unit size, modularity, mean conductance and attribute
+homogeneity.
+
+Expected shape: plain connected components collapse into a giant unit;
+thresholding splits it into many business communities; SToC produces
+attribute-pure clusters at moderate cost.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.pipeline import group_attribute_table
+from repro.graph.bipartite import project_onto_groups
+from repro.graph.components import connected_components
+from repro.graph.metrics import summarize
+from repro.graph.stoc import stoc_clustering
+from repro.graph.threshold import threshold_components, threshold_profile
+from repro.report.text import render_table
+
+from benchmarks.conftest import write_result
+
+
+def test_clustering_methods(benchmark, italy):
+    projection = project_onto_groups(italy.bipartite(), max_left_degree=50)
+    graph = projection.graph
+    attributes = group_attribute_table(italy)
+
+    def run_all():
+        rows = []
+        for name, func in (
+            ("components", lambda: connected_components(graph)),
+            ("threshold(w>=2)", lambda: threshold_components(graph, 2.0)),
+            ("threshold(w>=3)", lambda: threshold_components(graph, 3.0)),
+            ("stoc(tau=0.4)", lambda: stoc_clustering(
+                graph, attributes, tau=0.4, seed=0)),
+            ("stoc(tau=0.6)", lambda: stoc_clustering(
+                graph, attributes, tau=0.6, seed=0)),
+        ):
+            start = time.perf_counter()
+            clustering = func()
+            seconds = time.perf_counter() - start
+            summary = summarize(graph, clustering, attributes)
+            rows.append(
+                [
+                    name,
+                    seconds,
+                    summary.n_clusters,
+                    summary.giant_size,
+                    summary.modularity,
+                    summary.mean_conductance,
+                    summary.homogeneity,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rendered = render_table(
+        ["method", "seconds", "units", "giant", "modularity",
+         "conductance", "homogeneity"],
+        rows,
+    )
+    profile = threshold_profile(graph, [0.0, 1.0, 2.0, 3.0, 5.0])
+    lines = [
+        f"GraphClustering comparison on the projected company graph "
+        f"({graph.n_nodes} nodes, {graph.n_edges} edges, "
+        f"{len(projection.isolated)} isolated)",
+        rendered,
+        "",
+        "threshold profile (threshold, units, giant size):",
+        render_table(["w", "units", "giant"], profile),
+    ]
+    write_result("E12_clustering", "\n".join(lines))
+
+    by_name = {r[0]: r for r in rows}
+    # Thresholding splits the giant component of the components method.
+    assert by_name["threshold(w>=2)"][2] >= by_name["components"][2]
+    assert by_name["threshold(w>=2)"][3] <= by_name["components"][3]
+    # SToC respects attributes: purer clusters than plain components.
+    assert by_name["stoc(tau=0.4)"][6] <= by_name["components"][6] + 0.05

@@ -1,0 +1,58 @@
+"""E5 — Fig. 5 (bottom): radial plot of the six indexes per company sector.
+
+The paper shows, for directors in each of the 20 Italian company
+sectors, a radial plot of the segregation indexes.  We regenerate the
+series behind the plot: for every sector (CA coordinate), the six index
+values of women across provinces (organizational units = provinces, so
+that a per-sector index is well defined; see EXPERIMENTS.md for the
+interpretation note).
+
+Expected shape: male-dominated sectors (construction, mining,
+transports) and mixed sectors (education, health, domestic) sit at
+opposite ends of the isolation/interaction spokes, mirroring the paper's
+qualitative reading.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import CubeConfig
+from repro.core.scenarios import run_tabular
+from repro.data.italy import italy_tabular_individuals
+from repro.report.radial import radial_series, render_radial
+
+from benchmarks.conftest import write_result
+
+
+def _build(italy):
+    seats, schema = italy_tabular_individuals(italy)
+    return run_tabular(
+        seats,
+        schema,
+        "province",
+        CubeConfig(min_population=15, min_minority=5,
+                   max_sa_items=1, max_ca_items=1),
+    )
+
+
+def test_fig5_sector_radial(benchmark, italy):
+    result = benchmark.pedantic(_build, args=(italy,), rounds=3, iterations=1)
+    series = radial_series(result.cube, "sector", sa={"gender": "F"})
+    rendered = render_radial(series, digits=3, width=20)
+    write_result(
+        "E5_fig5_sectors",
+        "Fig. 5 (bottom) — six segregation indexes per company sector "
+        "(women across provinces)\n" + rendered,
+    )
+    assert len(series.labels) == 20
+
+    by_label = {
+        label: dict(zip(series.index_names, values))
+        for label, values in zip(series.labels, series.values)
+    }
+    # Qualitative shape: women are scarcer company-wide in construction
+    # than in education, so their interaction index (exposure to men) is
+    # higher in construction.
+    construction = by_label["construction"]["Int"]
+    education = by_label["education"]["Int"]
+    if construction == construction and education == education:
+        assert construction > education

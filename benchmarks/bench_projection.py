@@ -1,0 +1,44 @@
+"""E14 — GraphBuilder: bipartite projection throughput and edge weights.
+
+Times the projection of the directors×companies bipartite graph onto the
+company side and records the edge-weight histogram — the signal the
+threshold clustering method cuts on.
+
+Expected shape: the weight histogram is heavy-tailed (most interlocks
+share one director, a long tail shares several), and throughput scales
+with the sum of per-director squared degrees.
+"""
+
+from __future__ import annotations
+
+from repro.graph.bipartite import project_onto_groups
+from repro.report.text import render_table
+
+from benchmarks.conftest import write_result
+
+
+def test_projection_throughput(benchmark, italy):
+    bipartite = italy.bipartite()
+
+    result = benchmark(
+        lambda: project_onto_groups(bipartite, max_left_degree=50)
+    )
+    graph = result.graph
+    histogram = sorted(graph.weight_histogram().items())
+    lines = [
+        "Bipartite projection (directors x companies -> companies)",
+        f"left: {bipartite.n_left} directors, right: {bipartite.n_right} "
+        f"companies, memberships: {bipartite.n_edges}",
+        f"projected: {graph.n_edges} edges, {len(result.isolated)} isolated "
+        f"companies, {len(result.skipped_hubs)} skipped hubs",
+        "",
+        "edge weight histogram (shared directors -> edge count):",
+        render_table(["weight", "edges"], [[int(w), c] for w, c in histogram]),
+    ]
+    write_result("E14_projection", "\n".join(lines))
+    assert graph.n_edges > 0
+    weights = dict(histogram)
+    if len(weights) > 1:
+        assert weights.get(1.0, 0) >= max(
+            count for w, count in weights.items() if w > 1
+        ), "weight-1 edges must dominate (heavy tail)"

@@ -1,0 +1,64 @@
+"""E6 — Demo scenario 1: tabular data, sector = organizational unit.
+
+"How much are women segregated in company sectors?"  The bench times the
+scenario end to end and records the headline answers: the global cell
+for women, the top discovered contexts, and the per-step timings.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import CubeConfig
+from repro.core.scenarios import run_tabular
+from repro.cube.explorer import top_contexts
+from repro.data.italy import italy_tabular_individuals
+from repro.report.text import render_table
+
+from benchmarks.conftest import write_result
+
+
+def _run(italy):
+    seats, schema = italy_tabular_individuals(italy)
+    return run_tabular(
+        seats,
+        schema,
+        "sector",
+        CubeConfig(min_population=20, min_minority=5,
+                   max_sa_items=2, max_ca_items=2),
+    )
+
+
+def test_scenario1_tabular(benchmark, italy):
+    result = benchmark.pedantic(_run, args=(italy,), rounds=3, iterations=1)
+    cube = result.cube
+    women = cube.cell(sa={"gender": "F"})
+    lines = [
+        "Scenario 1 — how much are women segregated in company sectors?",
+        f"seats: {cube.metadata.n_rows}; units (sectors): {result.n_units}; "
+        f"cube cells: {len(cube)}",
+        "",
+        "global cell (gender=F | *):",
+        "  " + ", ".join(
+            f"{name}={women.value(name):.3f}"
+            for name in cube.metadata.index_names
+        ),
+        "",
+        "top-10 contexts by dissimilarity (min 25 minority seats):",
+    ]
+    found = top_contexts(cube, "D", k=10, min_minority=25)
+    lines.append(
+        render_table(
+            ["rank", "context", "D", "T", "M", "P"],
+            [
+                [f.rank, f.description, f.value, f.population, f.minority,
+                 f.proportion]
+                for f in found
+            ],
+        )
+    )
+    lines.append("")
+    lines.append("timings: " + ", ".join(
+        f"{k}={v:.3f}s" for k, v in result.timings.items()
+    ))
+    write_result("E6_scenario1_tabular", "\n".join(lines))
+    assert women is not None and 0 <= women.value("D") <= 1
+    assert found, "discovery must surface contexts"

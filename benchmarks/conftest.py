@@ -1,0 +1,45 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures/scenarios (see
+DESIGN.md §4).  Besides the pytest-benchmark timings, each bench writes
+its paper-style table to ``benchmarks/results/<experiment>.txt`` so the
+regenerated rows/series can be inspected and diffed after the run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.data.estonia import EstoniaConfig, generate_estonia
+from repro.data.italy import ItalyConfig, generate_italy
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> Path:
+    """Persist one experiment's regenerated table and echo it."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}\n[written to {path}]")
+    return path
+
+
+@pytest.fixture(scope="session")
+def italy():
+    """Benchmark-scale synthetic Italian boards dataset."""
+    return generate_italy(ItalyConfig(n_companies=2500, seed=7))
+
+
+@pytest.fixture(scope="session")
+def italy_large():
+    """Larger Italy for the scalability sweeps."""
+    return generate_italy(ItalyConfig(n_companies=6000, seed=7))
+
+
+@pytest.fixture(scope="session")
+def estonia():
+    """Benchmark-scale synthetic Estonian temporal dataset."""
+    return generate_estonia(EstoniaConfig(n_companies=2500, seed=11))

@@ -1,0 +1,8 @@
+"""Legacy setup shim: enables editable installs in offline environments
+where the ``wheel`` package (needed by PEP 660 builds on old setuptools)
+is unavailable.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

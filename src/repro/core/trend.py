@@ -1,0 +1,159 @@
+"""Temporal segregation trends over membership snapshots.
+
+The paper's inputs include validity intervals on membership pairs and a
+list of snapshot ``dates`` (§3); the Estonian case study tracks 20
+years.  This module formalises the analysis the demo performs per
+snapshot: join the snapshot's seats, derive organizational units from a
+group attribute, and evaluate segregation indexes for one subgroup —
+yielding a time series ready for plotting or reporting.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.italy import BoardsDataset
+from repro.errors import ReproError, TableError
+from repro.etl.builder import tabular_final_table
+from repro.etl.schema import AttributeSpec, Role, Schema
+from repro.etl.table import CategoricalColumn, MultiValuedColumn, Table
+from repro.indexes.base import resolve_indexes
+from repro.indexes.counts import UnitCounts
+
+
+def _id_positions(table: Table, id_name: str) -> dict[int, int]:
+    ids = table.ints(id_name).data
+    return {int(v): i for i, v in enumerate(ids)}
+
+
+def snapshot_seats_table(
+    dataset: BoardsDataset, date: "int | None" = None
+) -> tuple[Table, Schema]:
+    """One row per membership valid at ``date``, joining both entities.
+
+    Columns: every SA/CA attribute of the individuals plus every CA
+    attribute of the groups; the schema carries the roles over.  This
+    generalises the per-dataset helpers to any :class:`BoardsDataset`.
+    """
+    pairs = dataset.membership.snapshot(date)
+    if not pairs:
+        raise ReproError(f"no membership is valid at date {date!r}")
+    ind_pos = _id_positions(
+        dataset.individuals, dataset.individuals_schema.id_name
+    )
+    grp_pos = _id_positions(dataset.groups, dataset.groups_schema.id_name)
+    ind_rows = np.asarray([ind_pos[d] for d, _ in pairs], dtype=np.int64)
+    grp_rows = np.asarray([grp_pos[g] for _, g in pairs], dtype=np.int64)
+
+    columns: dict[str, object] = {}
+    specs: list[AttributeSpec] = []
+    for spec in dataset.individuals_schema.specs:
+        if spec.role not in (Role.SEGREGATION, Role.CONTEXT):
+            continue
+        columns[spec.name] = dataset.individuals.column(spec.name).take(
+            ind_rows
+        )
+        specs.append(spec)
+    for spec in dataset.groups_schema.specs:
+        if spec.role is not Role.CONTEXT:
+            continue
+        if spec.name in columns:
+            raise TableError(
+                f"attribute {spec.name!r} exists on both individuals and "
+                "groups; rename one"
+            )
+        columns[spec.name] = dataset.groups.column(spec.name).take(grp_rows)
+        specs.append(spec)
+    return Table(columns), Schema(specs)  # type: ignore[arg-type]
+
+
+def _subgroup_mask(table: Table, sa: Mapping[str, object]) -> np.ndarray:
+    mask = np.ones(len(table), dtype=bool)
+    for attr, value in sa.items():
+        col = table.column(attr)
+        if isinstance(col, CategoricalColumn):
+            mask &= col.mask_eq(value)  # type: ignore[arg-type]
+        elif isinstance(col, MultiValuedColumn):
+            mask &= col.mask_contains(value)  # type: ignore[arg-type]
+        else:
+            raise TableError(
+                f"subgroup attribute {attr!r} must be categorical or "
+                "multi-valued"
+            )
+    return mask
+
+
+@dataclass(frozen=True)
+class TrendPoint:
+    """Segregation measurements at one snapshot date."""
+
+    date: int
+    population: int
+    minority: int
+    proportion: float
+    n_units: int
+    values: dict[str, float]
+
+    def value(self, index_name: str) -> float:
+        return self.values.get(index_name, float("nan"))
+
+
+def segregation_trend(
+    dataset: BoardsDataset,
+    dates: Iterable[int],
+    unit_attr: str,
+    sa: Mapping[str, object],
+    indexes: "list[str] | None" = None,
+) -> "list[TrendPoint]":
+    """Evaluate indexes for one subgroup at every snapshot date.
+
+    Parameters
+    ----------
+    unit_attr:
+        The group/individual attribute whose values become the
+        organizational units (e.g. ``sector``), as in scenario 1.
+    sa:
+        The subgroup coordinates, e.g. ``{"gender": "F"}``; multiple
+        attributes are conjunctive.
+    indexes:
+        Index short names (default: the six SCube indexes).
+
+    Dates with no valid membership are skipped.
+    """
+    specs = resolve_indexes(indexes)
+    points: list[TrendPoint] = []
+    for date in dates:
+        try:
+            seats, schema = snapshot_seats_table(dataset, date)
+        except ReproError:
+            continue
+        final, _final_schema = tabular_final_table(seats, schema, unit_attr)
+        units = final.ints("unitID").data
+        minority_mask = _subgroup_mask(final, sa)
+        counts = UnitCounts.from_assignments(units, minority_mask)
+        points.append(
+            TrendPoint(
+                date=int(date),
+                population=int(counts.total),
+                minority=int(counts.minority_total),
+                proportion=counts.proportion,
+                n_units=counts.n_units,
+                values={s.name: s.compute(counts) for s in specs},
+            )
+        )
+    return points
+
+
+def trend_rows(points: "list[TrendPoint]") -> "list[list[object]]":
+    """Report-ready rows: date, T, M, P, then one column per index."""
+    if not points:
+        return []
+    index_names = list(points[0].values)
+    return [
+        [p.date, p.population, p.minority, round(p.proportion, 4)]
+        + [p.values[name] for name in index_names]
+        for p in points
+    ]

@@ -1,0 +1,71 @@
+"""The segregation data cube — the paper's core contribution.
+
+Cells are addressed by (SA itemset, CA itemset) coordinate pairs with
+``⋆`` wildcards; metrics are segregation indexes.  The itemset-driven
+:class:`SegregationDataCubeBuilder` materialises the cube; the
+:class:`NaiveCubeBuilder` is the enumeration oracle/baseline; the
+explorer ranks cells and flags Simpson-style granularity reversals.
+"""
+
+from repro.cube.builder import SegregationDataCubeBuilder, build_cube
+from repro.cube.cell import CellStats
+from repro.cube.compare import (
+    CellComparison,
+    compare_cubes,
+    comparison_rows,
+    describe_aligned,
+)
+from repro.cube.coordinates import (
+    STAR,
+    CellKey,
+    coordinate_columns,
+    decode_part,
+    describe_key,
+    encode_query,
+    is_parent,
+    key_of_itemset,
+    make_key,
+    parents_of,
+)
+from repro.cube.cube import (
+    CubeMetadata,
+    SegregationCube,
+    check_same_cells,
+)
+from repro.cube.explorer import (
+    Discovery,
+    Reversal,
+    simpson_reversals,
+    summarize_cube,
+    top_contexts,
+)
+from repro.cube.naive import NaiveCubeBuilder
+
+__all__ = [
+    "CellComparison",
+    "CellKey",
+    "CellStats",
+    "CubeMetadata",
+    "Discovery",
+    "NaiveCubeBuilder",
+    "Reversal",
+    "STAR",
+    "SegregationCube",
+    "SegregationDataCubeBuilder",
+    "build_cube",
+    "check_same_cells",
+    "compare_cubes",
+    "comparison_rows",
+    "describe_aligned",
+    "coordinate_columns",
+    "decode_part",
+    "describe_key",
+    "encode_query",
+    "is_parent",
+    "key_of_itemset",
+    "make_key",
+    "parents_of",
+    "simpson_reversals",
+    "summarize_cube",
+    "top_contexts",
+]

@@ -1,0 +1,67 @@
+"""Cube cells: per-(subgroup, context) segregation statistics."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.cube.coordinates import CellKey
+
+
+@dataclass(frozen=True)
+class CellStats:
+    """The content of one segregation-cube cell.
+
+    Attributes
+    ----------
+    key:
+        The (SA itemset, CA itemset) address.
+    population:
+        ``T`` — individuals satisfying the context coordinates ``B``.
+    minority:
+        ``M`` — individuals additionally satisfying the subgroup
+        coordinates ``A``.
+    n_units:
+        Organizational units with population inside the context.
+    indexes:
+        Segregation index values by short name (``nan`` for degenerate
+        cells, rendered "-" by the reports).
+    """
+
+    key: CellKey
+    population: int
+    minority: int
+    n_units: int
+    indexes: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def sa_items(self) -> frozenset[int]:
+        return self.key[0]
+
+    @property
+    def ca_items(self) -> frozenset[int]:
+        return self.key[1]
+
+    @property
+    def proportion(self) -> float:
+        """Minority fraction ``P = M / T`` (nan when the context is empty)."""
+        if self.population <= 0:
+            return float("nan")
+        return self.minority / self.population
+
+    @property
+    def is_context_only(self) -> bool:
+        """True for cells with an all-``⋆`` SA part (navigation cells)."""
+        return not self.key[0]
+
+    def value(self, index_name: str) -> float:
+        """Value of one index (nan when not computed or degenerate)."""
+        return self.indexes.get(index_name, float("nan"))
+
+    def is_defined(self, index_name: str) -> bool:
+        """True when the index value is a proper number."""
+        return not math.isnan(self.value(index_name))
+
+    def depth(self) -> int:
+        """Number of non-``⋆`` coordinates (cell granularity)."""
+        return len(self.key[0]) + len(self.key[1])

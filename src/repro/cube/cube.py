@@ -1,0 +1,286 @@
+"""The multi-dimensional segregation data cube (paper Fig. 1).
+
+A :class:`SegregationCube` maps cell keys — (SA itemset, CA itemset)
+pairs, with absent attributes at ``⋆`` — to :class:`CellStats`.  It
+supports the OLAP-style exploration the demo walks through: point
+lookups, slicing, roll-up/drill-down navigation, top-k ranking and
+tabular export.
+
+Cubes built in ``closed`` mode materialise only closed coordinates; an
+attached *resolver* (provided by the builder) answers point queries for
+any other frequent coordinate exactly, by intersecting item covers on
+demand.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator, Mapping
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.cube.cell import CellStats
+from repro.cube.coordinates import (
+    CellKey,
+    coordinate_columns,
+    describe_key,
+    encode_query,
+    parents_of,
+)
+from repro.errors import CubeError
+from repro.itemsets.items import ItemDictionary, ItemKind
+
+Resolver = Callable[[CellKey], Optional[CellStats]]
+
+
+@dataclass
+class CubeMetadata:
+    """Provenance of a cube build."""
+
+    index_names: list[str]
+    min_population: int
+    min_minority: int
+    n_rows: int
+    n_units: int
+    mode: str
+    backend: str
+    build_seconds: float = 0.0
+    extra: dict[str, object] = field(default_factory=dict)
+
+
+class SegregationCube:
+    """Container and query interface of the segregation data cube."""
+
+    def __init__(
+        self,
+        cells: dict[CellKey, CellStats],
+        dictionary: ItemDictionary,
+        metadata: CubeMetadata,
+        resolver: "Resolver | None" = None,
+    ):
+        self._cells = cells
+        self.dictionary = dictionary
+        self.metadata = metadata
+        self._resolver = resolver
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __iter__(self) -> Iterator[CellStats]:
+        return iter(self._cells.values())
+
+    def __contains__(self, key: CellKey) -> bool:
+        return key in self._cells
+
+    def keys(self) -> Iterator[CellKey]:
+        return iter(self._cells)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def cell_by_key(self, key: CellKey) -> "CellStats | None":
+        """Materialised cell, or resolver-computed cell, or None."""
+        found = self._cells.get(key)
+        if found is not None:
+            return found
+        if self._resolver is not None:
+            return self._resolver(key)
+        return None
+
+    def cell(
+        self,
+        sa: "Mapping[str, object] | None" = None,
+        ca: "Mapping[str, object] | None" = None,
+    ) -> "CellStats | None":
+        """Point query with user-level coordinates.
+
+        ``sa={'sex': 'F', 'age': 'young'}, ca={'region': 'north'}``
+        addresses the Fig. 1 cell for young women in the north; attributes
+        left out are at ``⋆``.
+        """
+        key = encode_query(self.dictionary, sa=sa, ca=ca)
+        return self.cell_by_key(key)
+
+    def value(
+        self,
+        index_name: str,
+        sa: "Mapping[str, object] | None" = None,
+        ca: "Mapping[str, object] | None" = None,
+    ) -> float:
+        """Index value at the given coordinates (nan when absent)."""
+        stats = self.cell(sa=sa, ca=ca)
+        return stats.value(index_name) if stats is not None else float("nan")
+
+    # ------------------------------------------------------------------
+    # Navigation
+    # ------------------------------------------------------------------
+
+    def children(self, key: CellKey) -> "list[CellStats]":
+        """Materialised cells refining ``key`` by exactly one item."""
+        sa, ca = key
+        out = []
+        for other_key, stats in self._cells.items():
+            o_sa, o_ca = other_key
+            if not (sa <= o_sa and ca <= o_ca):
+                continue
+            if (len(o_sa) - len(sa)) + (len(o_ca) - len(ca)) == 1:
+                out.append(stats)
+        return out
+
+    def parents(self, key: CellKey) -> "list[CellStats]":
+        """Materialised roll-up neighbours of ``key``."""
+        out = []
+        for parent_key in parents_of(key):
+            stats = self.cell_by_key(parent_key)
+            if stats is not None:
+                out.append(stats)
+        return out
+
+    def slice(
+        self,
+        sa: "Mapping[str, object] | None" = None,
+        ca: "Mapping[str, object] | None" = None,
+    ) -> "list[CellStats]":
+        """All materialised cells whose coordinates *include* the given ones."""
+        want_sa, want_ca = encode_query(self.dictionary, sa=sa, ca=ca)
+        return [
+            stats
+            for key, stats in self._cells.items()
+            if want_sa <= key[0] and want_ca <= key[1]
+        ]
+
+    def top(
+        self,
+        index_name: str,
+        k: int = 10,
+        min_minority: int = 0,
+        min_population: int = 0,
+        min_units: int = 2,
+        ascending: bool = False,
+    ) -> "list[CellStats]":
+        """Rank proper cells by one index (the discovery primitive).
+
+        Context-only cells and cells whose index is undefined are
+        excluded; ties break deterministically on the cell description.
+        """
+        candidates = [
+            stats
+            for stats in self._cells.values()
+            if not stats.is_context_only
+            and stats.is_defined(index_name)
+            and stats.minority >= min_minority
+            and stats.population >= min_population
+            and stats.n_units >= min_units
+        ]
+        candidates.sort(
+            key=lambda s: (
+                s.value(index_name) if ascending else -s.value(index_name),
+                describe_key(s.key, self.dictionary),
+            )
+        )
+        return candidates[:k]
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def sa_attributes(self) -> "list[str]":
+        """SA attribute names present in the dictionary."""
+        return sorted(
+            {
+                self.dictionary.item(i).attribute
+                for i in self.dictionary.ids_of_kind(ItemKind.SA)
+            }
+        )
+
+    def ca_attributes(self) -> "list[str]":
+        """CA attribute names present in the dictionary."""
+        return sorted(
+            {
+                self.dictionary.item(i).attribute
+                for i in self.dictionary.ids_of_kind(ItemKind.CA)
+            }
+        )
+
+    def to_rows(self) -> "list[dict[str, object]]":
+        """Flatten the cube for CSV/xlsx export (the ``cube.csv`` artefact).
+
+        One row per cell: attribute columns (``*`` for wildcards), then
+        T, M, P, n_units and one column per index.
+        """
+        sa_attrs = self.sa_attributes()
+        ca_attrs = self.ca_attributes()
+        rows = []
+        for key, stats in sorted(
+            self._cells.items(),
+            key=lambda kv: (kv[1].depth(), describe_key(kv[0], self.dictionary)),
+        ):
+            row: dict[str, object] = coordinate_columns(
+                key, self.dictionary, sa_attrs, ca_attrs
+            )
+            row["T"] = stats.population
+            row["M"] = stats.minority
+            row["P"] = (
+                round(stats.proportion, 6)
+                if not math.isnan(stats.proportion)
+                else ""
+            )
+            row["units"] = stats.n_units
+            for name in self.metadata.index_names:
+                value = stats.value(name)
+                row[name] = round(value, 6) if not math.isnan(value) else ""
+            rows.append(row)
+        return rows
+
+    def describe(self, key: CellKey) -> str:
+        """Human-readable address of a cell."""
+        return describe_key(key, self.dictionary)
+
+    def __repr__(self) -> str:
+        return (
+            f"SegregationCube({len(self._cells)} cells, "
+            f"indexes={self.metadata.index_names}, mode={self.metadata.mode})"
+        )
+
+
+def check_same_cells(a: SegregationCube, b: SegregationCube,
+                     atol: float = 1e-9) -> "list[str]":
+    """Compare two cubes cell-by-cell; return human-readable differences.
+
+    Used by the equivalence tests (itemset-driven vs naive builder) and
+    by the ablation benchmarks; an empty list means the cubes agree.
+    """
+    problems = []
+    keys_a, keys_b = set(a.keys()), set(b.keys())
+    for key in keys_a - keys_b:
+        problems.append(f"only in first: {a.describe(key)}")
+    for key in keys_b - keys_a:
+        problems.append(f"only in second: {b.describe(key)}")
+    for key in keys_a & keys_b:
+        cell_a = a.cell_by_key(key)
+        cell_b = b.cell_by_key(key)
+        assert cell_a is not None and cell_b is not None
+        if (cell_a.population, cell_a.minority) != (
+            cell_b.population,
+            cell_b.minority,
+        ):
+            problems.append(
+                f"{a.describe(key)}: counts differ "
+                f"({cell_a.population},{cell_a.minority}) vs "
+                f"({cell_b.population},{cell_b.minority})"
+            )
+            continue
+        for name in a.metadata.index_names:
+            va, vb = cell_a.value(name), cell_b.value(name)
+            if math.isnan(va) and math.isnan(vb):
+                continue
+            if math.isnan(va) != math.isnan(vb) or abs(va - vb) > atol:
+                problems.append(
+                    f"{a.describe(key)}: index {name} differs {va} vs {vb}"
+                )
+    return problems

@@ -1,0 +1,155 @@
+"""Synthetic data with planted, analytically-known segregation.
+
+The pipeline-validation workhorse: tables are constructed so that the
+exact per-unit counts — and therefore every index value — are known by
+construction, letting tests assert end-to-end equality rather than
+statistical closeness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.etl.schema import Schema
+from repro.etl.table import Table
+from repro.indexes.counts import UnitCounts
+
+
+@dataclass(frozen=True)
+class PlantedDataset:
+    """A table whose segregation statistics are exact by construction."""
+
+    table: Table
+    schema: Schema
+    counts: UnitCounts
+
+
+def planted_counts(
+    unit_sizes: "list[int]", minority_shares: "list[float]"
+) -> UnitCounts:
+    """Exact per-unit counts from sizes and minority shares (rounded)."""
+    if len(unit_sizes) != len(minority_shares):
+        raise ReproError("unit_sizes and minority_shares differ in length")
+    t = np.asarray(unit_sizes, dtype=np.int64)
+    m = np.minimum(t, np.round(t * np.asarray(minority_shares)).astype(np.int64))
+    return UnitCounts(t, m)
+
+
+def planted_table(
+    unit_sizes: "list[int]",
+    minority_shares: "list[float]",
+    minority_value: str = "F",
+    majority_value: str = "M",
+    attribute: str = "gender",
+) -> PlantedDataset:
+    """Deterministic table realising exactly the given per-unit counts.
+
+    The table has one SA attribute and the unit column; its cube's global
+    cell ``(attribute=minority_value | *)`` reproduces the planted index
+    values exactly.
+    """
+    counts = planted_counts(unit_sizes, minority_shares)
+    rows = []
+    for unit, (t, m) in enumerate(zip(counts.t, counts.m)):
+        rows.extend([(minority_value, unit)] * int(m))
+        rows.extend([(majority_value, unit)] * int(t - m))
+    table = Table.from_rows([attribute, "unitID"], rows)
+    schema = Schema.build(segregation=[attribute], unit="unitID")
+    return PlantedDataset(table, schema, counts)
+
+
+def checkerboard_table(
+    n_units: int, unit_size: int, attribute: str = "gender"
+) -> PlantedDataset:
+    """Complete segregation: units alternate all-minority / all-majority.
+
+    Dissimilarity, Gini, Information and Atkinson all equal 1 exactly
+    (with an even number of units), Isolation is 1 and Interaction 0.
+    """
+    if n_units < 2 or n_units % 2:
+        raise ReproError("checkerboard needs an even n_units >= 2")
+    shares = [1.0 if i % 2 == 0 else 0.0 for i in range(n_units)]
+    return planted_table([unit_size] * n_units, shares, attribute=attribute)
+
+
+def uniform_table(
+    n_units: int, unit_size: int, share: float = 0.3, attribute: str = "gender"
+) -> PlantedDataset:
+    """No segregation: every unit has the same minority share.
+
+    All evenness indexes (D, G, H, A) equal 0 exactly when
+    ``share * unit_size`` is integral.
+    """
+    if not 0 < share < 1:
+        raise ReproError("share must be in (0, 1)")
+    if abs(share * unit_size - round(share * unit_size)) > 1e-9:
+        raise ReproError(
+            f"share*unit_size = {share * unit_size} must be integral for an "
+            "exactly uniform table"
+        )
+    return planted_table([unit_size] * n_units, [share] * n_units,
+                         attribute=attribute)
+
+
+def random_final_table(
+    n_rows: int,
+    n_units: int,
+    sa_attributes: "dict[str, int] | None" = None,
+    ca_attributes: "dict[str, int] | None" = None,
+    multi_valued_ca: "dict[str, int] | None" = None,
+    seed: int = 0,
+    skew: float = 0.0,
+) -> tuple[Table, Schema]:
+    """A random ``finalTable`` for property tests and scaling benchmarks.
+
+    ``sa_attributes`` / ``ca_attributes`` map attribute names to their
+    cardinality; ``multi_valued_ca`` attributes draw 0-3 values per row.
+    ``skew`` > 0 draws values from a geometric-like distribution (value
+    ``k`` with probability proportional to ``(1+skew)^-k``), making most
+    attribute values rare — the shape of real categorical data, and what
+    support-based pruning feeds on.
+    """
+    if n_rows < 1 or n_units < 1:
+        raise ReproError("n_rows and n_units must be positive")
+    if skew < 0:
+        raise ReproError("skew must be non-negative")
+    rng = np.random.default_rng(seed)
+    sa_attributes = sa_attributes or {"gender": 2, "age": 3}
+    ca_attributes = ca_attributes or {"region": 3}
+    multi_valued_ca = multi_valued_ca or {}
+
+    def draw(cardinality: int) -> np.ndarray:
+        if skew == 0:
+            return rng.integers(0, cardinality, n_rows)
+        probs = (1.0 + skew) ** -np.arange(cardinality, dtype=float)
+        probs /= probs.sum()
+        return rng.choice(cardinality, size=n_rows, p=probs)
+
+    data: dict[str, list] = {}
+    for attr, cardinality in sa_attributes.items():
+        values = [f"{attr}{k}" for k in range(cardinality)]
+        data[attr] = [values[i] for i in draw(cardinality)]
+    for attr, cardinality in ca_attributes.items():
+        values = [f"{attr}{k}" for k in range(cardinality)]
+        data[attr] = [values[i] for i in draw(cardinality)]
+    for attr, cardinality in multi_valued_ca.items():
+        values = [f"{attr}{k}" for k in range(cardinality)]
+        column = []
+        for _ in range(n_rows):
+            size = int(rng.integers(0, min(3, cardinality) + 1))
+            column.append(frozenset(
+                rng.choice(values, size=size, replace=False).tolist()
+            ))
+        data[attr] = column
+    data["unitID"] = [int(u) for u in rng.integers(0, n_units, n_rows)]
+    table = Table.from_dict(data)
+    schema = Schema.build(
+        segregation=list(sa_attributes),
+        context=list(ca_attributes) + list(multi_valued_ca),
+        unit="unitID",
+        multi_valued=list(multi_valued_ca),
+    )
+    return table, schema

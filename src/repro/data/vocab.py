@@ -1,0 +1,180 @@
+"""Vocabularies for the synthetic case-study generators.
+
+Sector and province lists mirror the paper's Italian case study (20
+company sectors — Fig. 5 bottom — and province-level geography — Fig. 3
+right); Estonian counties cover the second case study.  Per-sector
+female shares are calibrated to published board-composition aggregates
+(strongly male construction/mining, mixed education/health), which is
+what lets the synthetic data reproduce the *shape* of the paper's
+occupational-segregation findings.
+"""
+
+from __future__ import annotations
+
+#: The 20 company sectors (NACE-like top-level activities).
+SECTORS: tuple[str, ...] = (
+    "agriculture",
+    "mining",
+    "manufacturing",
+    "electricity",
+    "water",
+    "construction",
+    "trade",
+    "transports",
+    "hospitality",
+    "information",
+    "finance",
+    "real_estate",
+    "professional",
+    "administrative",
+    "public_admin",
+    "education",
+    "health",
+    "arts",
+    "other_services",
+    "domestic",
+)
+
+#: Relative frequency of companies per sector (heavier trade/construction).
+SECTOR_WEIGHTS: dict[str, float] = {
+    "agriculture": 4.0,
+    "mining": 0.5,
+    "manufacturing": 10.0,
+    "electricity": 1.0,
+    "water": 0.8,
+    "construction": 12.0,
+    "trade": 22.0,
+    "transports": 5.0,
+    "hospitality": 8.0,
+    "information": 3.5,
+    "finance": 3.0,
+    "real_estate": 6.0,
+    "professional": 9.0,
+    "administrative": 4.0,
+    "public_admin": 0.6,
+    "education": 1.6,
+    "health": 3.0,
+    "arts": 2.0,
+    "other_services": 3.5,
+    "domestic": 0.5,
+}
+
+#: Planted probability that a board seat in the sector is held by a woman.
+#: Calibrated to the qualitative pattern of Italian boards (overall ~23%).
+SECTOR_FEMALE_RATE: dict[str, float] = {
+    "agriculture": 0.20,
+    "mining": 0.10,
+    "manufacturing": 0.17,
+    "electricity": 0.14,
+    "water": 0.15,
+    "construction": 0.09,
+    "trade": 0.26,
+    "transports": 0.13,
+    "hospitality": 0.33,
+    "information": 0.21,
+    "finance": 0.22,
+    "real_estate": 0.27,
+    "professional": 0.30,
+    "administrative": 0.28,
+    "public_admin": 0.24,
+    "education": 0.48,
+    "health": 0.44,
+    "arts": 0.35,
+    "other_services": 0.38,
+    "domestic": 0.55,
+}
+
+#: (province, region) pairs for the Italian geography.
+PROVINCES: tuple[tuple[str, str], ...] = (
+    ("Torino", "north"),
+    ("Milano", "north"),
+    ("Genova", "north"),
+    ("Venezia", "north"),
+    ("Bologna", "north"),
+    ("Trieste", "north"),
+    ("Brescia", "north"),
+    ("Firenze", "centre"),
+    ("Roma", "centre"),
+    ("Perugia", "centre"),
+    ("Ancona", "centre"),
+    ("Pisa", "centre"),
+    ("Napoli", "south"),
+    ("Bari", "south"),
+    ("Palermo", "south"),
+    ("Catania", "south"),
+    ("Cagliari", "south"),
+    ("Potenza", "south"),
+    ("Campobasso", "south"),
+    ("Reggio Calabria", "south"),
+)
+
+#: Relative company mass per province (northern industrial tilt).
+PROVINCE_WEIGHTS: dict[str, float] = {
+    "Torino": 8.0,
+    "Milano": 16.0,
+    "Genova": 4.0,
+    "Venezia": 5.0,
+    "Bologna": 6.0,
+    "Trieste": 2.0,
+    "Brescia": 5.0,
+    "Firenze": 5.0,
+    "Roma": 14.0,
+    "Perugia": 2.0,
+    "Ancona": 2.0,
+    "Pisa": 2.0,
+    "Napoli": 8.0,
+    "Bari": 5.0,
+    "Palermo": 4.0,
+    "Catania": 3.0,
+    "Cagliari": 2.0,
+    "Potenza": 1.0,
+    "Campobasso": 1.0,
+    "Reggio Calabria": 2.0,
+}
+
+#: Region-level multiplier on the female board-seat rate (plants the
+#: north/south gradient visible in the paper's province map, Fig. 3).
+REGION_FEMALE_MULTIPLIER: dict[str, float] = {
+    "north": 1.10,
+    "centre": 1.00,
+    "south": 0.75,
+}
+
+REGIONS: tuple[str, ...] = ("north", "centre", "south")
+
+#: Birthplace categories used as an SA attribute in the case studies.
+BIRTHPLACES: tuple[str, ...] = ("north", "centre", "south", "foreign")
+
+BIRTHPLACE_WEIGHTS: dict[str, float] = {
+    "north": 42.0,
+    "centre": 22.0,
+    "south": 30.0,
+    "foreign": 6.0,
+}
+
+GENDERS: tuple[str, ...] = ("M", "F")
+
+#: Estonian counties for the temporal case study.
+ESTONIAN_COUNTIES: tuple[str, ...] = (
+    "Harju",
+    "Tartu",
+    "Ida-Viru",
+    "Parnu",
+    "Laane-Viru",
+    "Viljandi",
+    "Rapla",
+    "Voru",
+    "Saare",
+    "Jogeva",
+    "Jarva",
+    "Valga",
+    "Polva",
+    "Laane",
+    "Hiiu",
+)
+
+
+def province_region(province: str) -> str:
+    """Region of an Italian province; raises KeyError for unknown names."""
+    mapping = dict(PROVINCES)
+    return mapping[province]

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  Subclasses pinpoint the subsystem
+that failed, mirroring the SCube architecture (ETL, mining, cube, graph,
+reporting).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro package."""
+
+
+class SchemaError(ReproError):
+    """A table does not conform to the declared schema."""
+
+
+class TableError(ReproError):
+    """Invalid operation on a relational table."""
+
+
+class MiningError(ReproError):
+    """Invalid parameters or state in the itemset-mining engine."""
+
+
+class CubeError(ReproError):
+    """Invalid cube construction parameters or cell lookup."""
+
+
+class GraphError(ReproError):
+    """Invalid graph construction or operation."""
+
+
+class IndexError_(ReproError):
+    """Invalid inputs to a segregation index.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    ``IndexError``; exported as ``SegregationIndexError``.
+    """
+
+
+SegregationIndexError = IndexError_
+
+
+class ReportError(ReproError):
+    """Failure while producing an output report or workbook."""
+
+
+class ConfigError(ReproError):
+    """Invalid pipeline configuration."""

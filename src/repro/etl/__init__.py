@@ -1,0 +1,65 @@
+"""Relational ETL substrate: tables, schemas, CSV I/O, binning, time.
+
+This package plays the role of SCube's data pre-processing layer
+(paper Fig. 3, "ETL"): it turns raw inputs into the ``finalTable``
+consumed by the SegregationDataCubeBuilder.
+"""
+
+from repro.etl.builder import (
+    UNIT_COLUMN,
+    build_final_table,
+    tabular_final_table,
+)
+from repro.etl.csvio import read_table, write_rows, write_table
+from repro.etl.sqlio import read_query, write_table_sql
+from repro.etl.discretize import (
+    PAPER_AGE_EDGES,
+    bin_labels,
+    discretize,
+    equal_width_edges,
+    paper_age_column,
+    quantile_edges,
+)
+from repro.etl.schema import AttributeSpec, Role, Schema
+from repro.etl.table import (
+    CategoricalColumn,
+    Column,
+    IntColumn,
+    MultiValuedColumn,
+    Table,
+)
+from repro.etl.temporal import (
+    ALWAYS,
+    Interval,
+    MembershipEdge,
+    TemporalMembership,
+)
+
+__all__ = [
+    "ALWAYS",
+    "AttributeSpec",
+    "CategoricalColumn",
+    "Column",
+    "IntColumn",
+    "Interval",
+    "MembershipEdge",
+    "MultiValuedColumn",
+    "PAPER_AGE_EDGES",
+    "Role",
+    "Schema",
+    "Table",
+    "TemporalMembership",
+    "UNIT_COLUMN",
+    "bin_labels",
+    "build_final_table",
+    "discretize",
+    "equal_width_edges",
+    "paper_age_column",
+    "quantile_edges",
+    "read_query",
+    "read_table",
+    "tabular_final_table",
+    "write_rows",
+    "write_table_sql",
+    "write_table",
+]

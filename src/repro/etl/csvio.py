@@ -1,0 +1,125 @@
+"""CSV reading and writing for SCube inputs and outputs.
+
+The SCube architecture (paper Fig. 2/3) exchanges every intermediate
+artefact as CSV: ``individual.csv``, ``group.csv``,
+``individualGroup.csv`` (membership), ``finalTable.csv`` and
+``cube.csv``.  Multi-valued cells are serialised with an inner separator
+(default ``|``), e.g. ``electricity|transports``.
+"""
+
+from __future__ import annotations
+
+import csv
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.errors import TableError
+from repro.etl.table import (
+    CategoricalColumn,
+    IntColumn,
+    MultiValuedColumn,
+    Table,
+)
+
+#: Inner separator for multi-valued cells.
+SET_SEPARATOR = "|"
+
+
+def _parse_cell(text: str, multi: bool, integer: bool) -> object:
+    if multi:
+        if text == "":
+            return frozenset()
+        return frozenset(text.split(SET_SEPARATOR))
+    if integer:
+        try:
+            return int(text)
+        except ValueError:
+            raise TableError(f"expected integer cell, got {text!r}") from None
+    return text
+
+
+def read_table(
+    path: str | Path,
+    multi_valued: Iterable[str] = (),
+    integer: Iterable[str] = (),
+    delimiter: str = ",",
+) -> Table:
+    """Read a CSV file with a header row into a :class:`Table`.
+
+    Parameters
+    ----------
+    multi_valued:
+        Column names whose cells are ``|``-separated value sets.
+    integer:
+        Column names to parse as integers (ids, unit ids).
+    """
+    multi = set(multi_valued)
+    ints = set(integer)
+    path = Path(path)
+    with path.open(newline="") as f:
+        reader = csv.reader(f, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise TableError(f"{path} is empty") from None
+        columns: dict[str, list[object]] = {name: [] for name in header}
+        for row in reader:
+            if not row:
+                # csv yields [] for blank lines; for a single-column file
+                # that is a legitimate empty cell (e.g. an empty value
+                # set), otherwise it is a stray blank line to skip.
+                if len(header) == 1:
+                    row = [""]
+                else:
+                    continue
+            if len(row) != len(header):
+                raise TableError(
+                    f"{path}: row of width {len(row)} does not match header "
+                    f"of width {len(header)}"
+                )
+            for name, cell in zip(header, row):
+                columns[name].append(
+                    _parse_cell(cell, multi=name in multi, integer=name in ints)
+                )
+    built: dict[str, object] = {}
+    for name, values in columns.items():
+        if name in multi:
+            built[name] = MultiValuedColumn.from_values(values)  # type: ignore[arg-type]
+        elif name in ints:
+            built[name] = IntColumn.from_values(values)  # type: ignore[arg-type]
+        else:
+            built[name] = CategoricalColumn.from_values(values)  # type: ignore[arg-type]
+    return Table(built)  # type: ignore[arg-type]
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, (frozenset, set)):
+        return SET_SEPARATOR.join(sorted(str(v) for v in value))
+    return str(value)
+
+
+def write_table(table: Table, path: str | Path, delimiter: str = ",") -> None:
+    """Write ``table`` to CSV with a header row."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as f:
+        writer = csv.writer(f, delimiter=delimiter)
+        writer.writerow(table.names)
+        for row in table.iter_rows():
+            writer.writerow([_format_cell(row[name]) for name in table.names])
+
+
+def write_rows(
+    rows: Iterable[Sequence[object]],
+    header: Sequence[str],
+    path: str | Path,
+    delimiter: str = ",",
+) -> None:
+    """Write raw rows (any sequence of cells) with a header to CSV."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as f:
+        writer = csv.writer(f, delimiter=delimiter)
+        writer.writerow(list(header))
+        for row in rows:
+            writer.writerow([_format_cell(cell) for cell in row])

@@ -1,0 +1,92 @@
+"""Discretisation of numeric attributes into categorical bins.
+
+The paper's case studies bin director ages into ranges such as
+``15-38`` and ``39-46`` (Fig. 3).  This module provides equal-width and
+equal-frequency binning plus the preset age bins used throughout the
+examples and benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import TableError
+from repro.etl.table import CategoricalColumn
+
+#: Age bin edges used in the paper's figures (left-closed, right-open,
+#: last bin open-ended).
+PAPER_AGE_EDGES: tuple[int, ...] = (15, 39, 47, 55, 66)
+
+
+def bin_labels(edges: Sequence[float], open_ended: bool = True) -> list[str]:
+    """Human-readable labels for the bins delimited by ``edges``.
+
+    With integer edges the label for ``[lo, hi)`` is ``"lo-(hi-1)"``
+    (matching the paper's ``15-38`` style); the optional final open bin is
+    labelled ``"hi+"``.
+    """
+    if len(edges) < 2:
+        raise TableError("need at least two bin edges")
+    labels = []
+    for lo, hi in zip(edges, edges[1:]):
+        if float(lo).is_integer() and float(hi).is_integer():
+            labels.append(f"{int(lo)}-{int(hi) - 1}")
+        else:
+            labels.append(f"{lo:g}-{hi:g}")
+    if open_ended:
+        last = edges[-1]
+        labels.append(f"{int(last)}+" if float(last).is_integer() else f"{last:g}+")
+    return labels
+
+
+def discretize(
+    values: Sequence[float],
+    edges: Sequence[float],
+    open_ended: bool = True,
+) -> CategoricalColumn:
+    """Bin numeric ``values`` into a categorical column.
+
+    Values below ``edges[0]`` are clamped into the first bin; values at or
+    above ``edges[-1]`` go to the open-ended last bin (or are clamped into
+    the final closed bin when ``open_ended`` is False).
+    """
+    arr = np.asarray(values, dtype=float)
+    labels = bin_labels(edges, open_ended=open_ended)
+    codes = np.searchsorted(np.asarray(edges[1:], dtype=float), arr, side="right")
+    codes = np.clip(codes, 0, len(labels) - 1)
+    return CategoricalColumn(codes.astype(np.int32), labels)
+
+
+def equal_width_edges(values: Sequence[float], bins: int) -> list[float]:
+    """Equal-width bin edges spanning the observed range."""
+    if bins < 1:
+        raise TableError("bins must be >= 1")
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise TableError("cannot bin an empty sequence")
+    lo, hi = float(arr.min()), float(arr.max())
+    if lo == hi:
+        hi = lo + 1.0
+    return list(np.linspace(lo, hi, bins + 1))
+
+
+def quantile_edges(values: Sequence[float], bins: int) -> list[float]:
+    """Equal-frequency bin edges (duplicates collapsed)."""
+    if bins < 1:
+        raise TableError("bins must be >= 1")
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise TableError("cannot bin an empty sequence")
+    qs = np.linspace(0.0, 1.0, bins + 1)
+    edges = np.quantile(arr, qs)
+    unique = sorted(set(float(e) for e in edges))
+    if len(unique) < 2:
+        unique = [unique[0], unique[0] + 1.0]
+    return unique
+
+
+def paper_age_column(ages: Sequence[float]) -> CategoricalColumn:
+    """Bin ages with the paper's preset edges (15-38, 39-46, 47-54, 55-65, 66+)."""
+    return discretize(ages, PAPER_AGE_EDGES, open_ended=True)

@@ -1,0 +1,166 @@
+"""Schema declarations: which attributes are SA, CA, unit, id.
+
+The segregation data cube distinguishes two dimension types (paper §2):
+
+* **segregation attributes** (SA) describe the potentially segregated
+  minority (sex, age, birthplace, ...);
+* **context attributes** (CA) describe where segregation may appear
+  (region, sector, ...).
+
+A schema attaches these roles, plus the special ``unit`` and ``id``
+roles, to the columns of a :class:`~repro.etl.table.Table`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import SchemaError
+from repro.etl.table import CategoricalColumn, IntColumn, MultiValuedColumn, Table
+
+
+class Role(enum.Enum):
+    """The role a column plays in segregation analysis."""
+
+    SEGREGATION = "SA"
+    CONTEXT = "CA"
+    UNIT = "unit"
+    ID = "id"
+    IGNORE = "ignore"
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """Declares one attribute: its name, role and multiplicity."""
+
+    name: str
+    role: Role
+    multi_valued: bool = False
+
+    def __post_init__(self) -> None:
+        if self.role in (Role.UNIT, Role.ID) and self.multi_valued:
+            raise SchemaError(f"{self.role.value} attribute {self.name!r} "
+                              "cannot be multi-valued")
+
+
+@dataclass
+class Schema:
+    """An ordered collection of :class:`AttributeSpec`.
+
+    At most one ``UNIT`` and one ``ID`` attribute are allowed; at least
+    one SA attribute is required for segregation analysis proper, but the
+    schema itself does not enforce that (intermediate tables may not have
+    SA columns yet).
+    """
+
+    specs: list[AttributeSpec] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        names = [s.name for s in self.specs]
+        if len(names) != len(set(names)):
+            raise SchemaError(f"duplicate attribute names in schema: {names}")
+        if len(self._names_by_role(Role.UNIT)) > 1:
+            raise SchemaError("schema declares more than one unit attribute")
+        if len(self._names_by_role(Role.ID)) > 1:
+            raise SchemaError("schema declares more than one id attribute")
+
+    @classmethod
+    def build(
+        cls,
+        segregation: Iterable[str] = (),
+        context: Iterable[str] = (),
+        unit: str | None = None,
+        id_: str | None = None,
+        multi_valued: Iterable[str] = (),
+    ) -> "Schema":
+        """Convenience constructor from plain name lists."""
+        multi = set(multi_valued)
+        specs = [
+            AttributeSpec(n, Role.SEGREGATION, multi_valued=n in multi)
+            for n in segregation
+        ]
+        specs += [
+            AttributeSpec(n, Role.CONTEXT, multi_valued=n in multi) for n in context
+        ]
+        if unit is not None:
+            specs.append(AttributeSpec(unit, Role.UNIT))
+        if id_ is not None:
+            specs.append(AttributeSpec(id_, Role.ID))
+        return cls(specs)
+
+    def _names_by_role(self, role: Role) -> list[str]:
+        return [s.name for s in self.specs if s.role is role]
+
+    @property
+    def sa_names(self) -> list[str]:
+        """Names of segregation attributes, in declaration order."""
+        return self._names_by_role(Role.SEGREGATION)
+
+    @property
+    def ca_names(self) -> list[str]:
+        """Names of context attributes, in declaration order."""
+        return self._names_by_role(Role.CONTEXT)
+
+    @property
+    def unit_name(self) -> str:
+        """Name of the unit attribute; raises if none is declared."""
+        units = self._names_by_role(Role.UNIT)
+        if not units:
+            raise SchemaError("schema has no unit attribute")
+        return units[0]
+
+    @property
+    def id_name(self) -> str:
+        """Name of the id attribute; raises if none is declared."""
+        ids = self._names_by_role(Role.ID)
+        if not ids:
+            raise SchemaError("schema has no id attribute")
+        return ids[0]
+
+    def spec(self, name: str) -> AttributeSpec:
+        """Return the spec for ``name``; raises :class:`SchemaError` if absent."""
+        for s in self.specs:
+            if s.name == name:
+                return s
+        raise SchemaError(f"attribute {name!r} not in schema")
+
+    def with_spec(self, spec: AttributeSpec) -> "Schema":
+        """Return a new schema with ``spec`` appended (or replacing same name)."""
+        specs = [s for s in self.specs if s.name != spec.name]
+        specs.append(spec)
+        return Schema(specs)
+
+    def validate(self, table: Table) -> None:
+        """Check that ``table`` provides every declared attribute correctly.
+
+        Raises
+        ------
+        SchemaError
+            If a column is missing, a unit/id column is not integer, or a
+            multiplicity declaration does not match the stored column kind.
+        """
+        for s in self.specs:
+            if s.name not in table:
+                raise SchemaError(f"table missing column {s.name!r}")
+            col = table.column(s.name)
+            if s.role in (Role.UNIT, Role.ID) and not isinstance(col, IntColumn):
+                raise SchemaError(
+                    f"{s.role.value} column {s.name!r} must be integer, got {col.kind}"
+                )
+            if s.role in (Role.SEGREGATION, Role.CONTEXT):
+                if s.multi_valued and not isinstance(col, MultiValuedColumn):
+                    raise SchemaError(
+                        f"column {s.name!r} declared multi-valued but stored as "
+                        f"{col.kind}"
+                    )
+                if not s.multi_valued and not isinstance(col, CategoricalColumn):
+                    raise SchemaError(
+                        f"column {s.name!r} declared single-valued but stored as "
+                        f"{col.kind}"
+                    )
+
+    def analysis_names(self) -> list[str]:
+        """All SA and CA attribute names, SA first."""
+        return self.sa_names + self.ca_names

@@ -1,0 +1,348 @@
+"""Column-oriented relational tables.
+
+SCube consumes relational inputs (``individuals``, ``groups``,
+``finalTable``).  The original Java system reads CSV files or JDBC result
+sets; this reproduction stores tables column-wise with NumPy-coded
+categorical columns, which is the layout the itemset encoder and the cube
+builder need (code arrays, not Python objects, on the hot path).
+
+Three column kinds cover everything the paper requires:
+
+* :class:`CategoricalColumn` — single-valued discrete attribute
+  (``gender``, ``region``, ...), stored as ``int32`` codes plus a
+  category list;
+* :class:`MultiValuedColumn` — set-valued attribute (the paper's
+  ``sector = {electricity, transports}`` example), stored as sorted code
+  tuples plus a category list;
+* :class:`IntColumn` — integer attribute, used for identifiers and for
+  unit ids.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from typing import Union
+
+import numpy as np
+
+from repro.errors import TableError
+
+ValueType = Union[str, int, float, bool]
+
+
+class CategoricalColumn:
+    """A single-valued discrete column stored as integer codes.
+
+    Parameters
+    ----------
+    codes:
+        Array-like of non-negative integers indexing into ``categories``.
+    categories:
+        The distinct values, in code order.
+    """
+
+    kind = "categorical"
+
+    def __init__(self, codes: Iterable[int], categories: Sequence[ValueType]):
+        self.codes = np.asarray(codes, dtype=np.int32)
+        self.categories: list[ValueType] = list(categories)
+        if len(self.codes) and self.codes.min() < 0:
+            raise TableError("categorical codes must be non-negative")
+        if len(self.codes) and self.codes.max() >= len(self.categories):
+            raise TableError(
+                f"code {int(self.codes.max())} out of range for "
+                f"{len(self.categories)} categories"
+            )
+        self._index = {value: code for code, value in enumerate(self.categories)}
+
+    @classmethod
+    def from_values(cls, values: Iterable[ValueType]) -> "CategoricalColumn":
+        """Build a column from raw values, assigning codes in first-seen order."""
+        categories: list[ValueType] = []
+        index: dict[ValueType, int] = {}
+        codes = []
+        for value in values:
+            code = index.get(value)
+            if code is None:
+                code = len(categories)
+                index[value] = code
+                categories.append(value)
+            codes.append(code)
+        return cls(np.asarray(codes, dtype=np.int32), categories)
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    def __getitem__(self, i: int) -> ValueType:
+        return self.categories[int(self.codes[i])]
+
+    def values(self) -> list[ValueType]:
+        """Decode the whole column back to raw values."""
+        return [self.categories[c] for c in self.codes]
+
+    def code_of(self, value: ValueType) -> int:
+        """Return the code of ``value``, raising :class:`TableError` if absent."""
+        try:
+            return self._index[value]
+        except KeyError:
+            raise TableError(f"value {value!r} not in column categories") from None
+
+    def mask_eq(self, value: ValueType) -> np.ndarray:
+        """Boolean mask of rows equal to ``value`` (all-False if unseen)."""
+        code = self._index.get(value)
+        if code is None:
+            return np.zeros(len(self.codes), dtype=bool)
+        return self.codes == code
+
+    def take(self, positions: np.ndarray) -> "CategoricalColumn":
+        """Return a new column with the rows at ``positions``."""
+        return CategoricalColumn(self.codes[positions], self.categories)
+
+    def value_counts(self) -> dict[ValueType, int]:
+        """Return ``{value: occurrences}`` for the whole column."""
+        counts = np.bincount(self.codes, minlength=len(self.categories))
+        return {v: int(c) for v, c in zip(self.categories, counts)}
+
+
+class MultiValuedColumn:
+    """A set-valued column: every row holds a (possibly empty) set of values.
+
+    Rows are stored as sorted tuples of codes into a shared category list,
+    matching the paper's treatment of multi-valued attributes (an
+    individual may be linked to several company sectors at once).
+    """
+
+    kind = "multivalued"
+
+    def __init__(self, rows: Sequence[tuple[int, ...]], categories: Sequence[ValueType]):
+        self.rows: list[tuple[int, ...]] = [tuple(sorted(set(r))) for r in rows]
+        self.categories: list[ValueType] = list(categories)
+        for row in self.rows:
+            if row and (row[0] < 0 or row[-1] >= len(self.categories)):
+                raise TableError("multi-valued code out of range")
+        self._index = {value: code for code, value in enumerate(self.categories)}
+
+    @classmethod
+    def from_values(cls, values: Iterable[Iterable[ValueType]]) -> "MultiValuedColumn":
+        """Build from raw per-row iterables of values."""
+        categories: list[ValueType] = []
+        index: dict[ValueType, int] = {}
+        rows: list[tuple[int, ...]] = []
+        for row_values in values:
+            codes = []
+            for value in row_values:
+                code = index.get(value)
+                if code is None:
+                    code = len(categories)
+                    index[value] = code
+                    categories.append(value)
+                codes.append(code)
+            rows.append(tuple(sorted(set(codes))))
+        return cls(rows, categories)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __getitem__(self, i: int) -> frozenset[ValueType]:
+        return frozenset(self.categories[c] for c in self.rows[i])
+
+    def values(self) -> list[frozenset[ValueType]]:
+        """Decode the whole column back to raw value sets."""
+        return [self[i] for i in range(len(self.rows))]
+
+    def code_of(self, value: ValueType) -> int:
+        """Return the code of ``value``, raising :class:`TableError` if absent."""
+        try:
+            return self._index[value]
+        except KeyError:
+            raise TableError(f"value {value!r} not in column categories") from None
+
+    def mask_contains(self, value: ValueType) -> np.ndarray:
+        """Boolean mask of rows whose set contains ``value``."""
+        code = self._index.get(value)
+        mask = np.zeros(len(self.rows), dtype=bool)
+        if code is None:
+            return mask
+        for i, row in enumerate(self.rows):
+            if code in row:
+                mask[i] = True
+        return mask
+
+    def take(self, positions: np.ndarray) -> "MultiValuedColumn":
+        """Return a new column with the rows at ``positions``."""
+        return MultiValuedColumn([self.rows[int(p)] for p in positions], self.categories)
+
+    def value_counts(self) -> dict[ValueType, int]:
+        """Return ``{value: number of rows containing it}``."""
+        counts = np.zeros(len(self.categories), dtype=np.int64)
+        for row in self.rows:
+            for code in row:
+                counts[code] += 1
+        return {v: int(c) for v, c in zip(self.categories, counts)}
+
+
+class IntColumn:
+    """A plain integer column (identifiers, unit ids)."""
+
+    kind = "int"
+
+    def __init__(self, data: Iterable[int]):
+        self.data = np.asarray(data, dtype=np.int64)
+
+    @classmethod
+    def from_values(cls, values: Iterable[int]) -> "IntColumn":
+        return cls(values)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __getitem__(self, i: int) -> int:
+        return int(self.data[i])
+
+    def values(self) -> list[int]:
+        return [int(v) for v in self.data]
+
+    def mask_eq(self, value: int) -> np.ndarray:
+        return self.data == value
+
+    def take(self, positions: np.ndarray) -> "IntColumn":
+        return IntColumn(self.data[positions])
+
+
+Column = Union[CategoricalColumn, MultiValuedColumn, IntColumn]
+
+
+def _column_from_raw(values: Sequence[object]) -> Column:
+    """Infer the column kind of raw Python values.
+
+    Sets/lists/tuples become multi-valued, integers become :class:`IntColumn`,
+    everything else becomes categorical.
+    """
+    for value in values:
+        if isinstance(value, (set, frozenset, list, tuple)):
+            return MultiValuedColumn.from_values(values)  # type: ignore[arg-type]
+        if isinstance(value, bool):
+            return CategoricalColumn.from_values(values)  # type: ignore[arg-type]
+        if isinstance(value, (int, np.integer)):
+            return IntColumn.from_values(values)  # type: ignore[arg-type]
+        return CategoricalColumn.from_values(values)  # type: ignore[arg-type]
+    return CategoricalColumn.from_values(values)  # type: ignore[arg-type]
+
+
+class Table:
+    """An immutable-by-convention, column-oriented relational table."""
+
+    def __init__(self, columns: Mapping[str, Column]):
+        self._columns: dict[str, Column] = dict(columns)
+        lengths = {len(col) for col in self._columns.values()}
+        if len(lengths) > 1:
+            raise TableError(f"columns have differing lengths: {sorted(lengths)}")
+        self._length = lengths.pop() if lengths else 0
+
+    @classmethod
+    def from_rows(
+        cls, names: Sequence[str], rows: Iterable[Sequence[object]]
+    ) -> "Table":
+        """Build a table from row tuples, inferring column kinds."""
+        materialised = [tuple(row) for row in rows]
+        for row in materialised:
+            if len(row) != len(names):
+                raise TableError(
+                    f"row of width {len(row)} does not match {len(names)} columns"
+                )
+        by_name = {
+            name: _column_from_raw([row[j] for row in materialised])
+            for j, name in enumerate(names)
+        }
+        return cls(by_name)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Sequence[object]]) -> "Table":
+        """Build a table from ``{column_name: values}``, inferring kinds."""
+        return cls({name: _column_from_raw(list(vals)) for name, vals in data.items()})
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._columns)
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def column(self, name: str) -> Column:
+        """Return the column named ``name``."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise TableError(
+                f"no column {name!r}; available: {self.names}"
+            ) from None
+
+    def categorical(self, name: str) -> CategoricalColumn:
+        """Return a column, asserting it is categorical."""
+        col = self.column(name)
+        if not isinstance(col, CategoricalColumn):
+            raise TableError(f"column {name!r} is {col.kind}, expected categorical")
+        return col
+
+    def multivalued(self, name: str) -> MultiValuedColumn:
+        """Return a column, asserting it is multi-valued."""
+        col = self.column(name)
+        if not isinstance(col, MultiValuedColumn):
+            raise TableError(f"column {name!r} is {col.kind}, expected multivalued")
+        return col
+
+    def ints(self, name: str) -> IntColumn:
+        """Return a column, asserting it is integer."""
+        col = self.column(name)
+        if not isinstance(col, IntColumn):
+            raise TableError(f"column {name!r} is {col.kind}, expected int")
+        return col
+
+    def with_column(self, name: str, column: Column) -> "Table":
+        """Return a new table with ``column`` added or replaced."""
+        if len(column) != self._length and self._columns:
+            raise TableError(
+                f"new column has {len(column)} rows, table has {self._length}"
+            )
+        merged = dict(self._columns)
+        merged[name] = column
+        return Table(merged)
+
+    def without_columns(self, names: Iterable[str]) -> "Table":
+        """Return a new table dropping the given columns."""
+        drop = set(names)
+        return Table({n: c for n, c in self._columns.items() if n not in drop})
+
+    def select(self, names: Sequence[str]) -> "Table":
+        """Return a new table with only the given columns, in order."""
+        return Table({name: self.column(name) for name in names})
+
+    def filter(self, mask: np.ndarray) -> "Table":
+        """Return a new table with only the rows where ``mask`` is True."""
+        mask = np.asarray(mask)
+        if mask.dtype == bool:
+            positions = np.flatnonzero(mask)
+        else:
+            positions = mask.astype(np.int64)
+        return Table({n: c.take(positions) for n, c in self._columns.items()})
+
+    def row(self, i: int) -> dict[str, object]:
+        """Decode row ``i`` into a ``{name: value}`` dict."""
+        if not 0 <= i < self._length:
+            raise TableError(f"row {i} out of range for table of {self._length} rows")
+        return {name: col[i] for name, col in self._columns.items()}
+
+    def iter_rows(self) -> Iterator[dict[str, object]]:
+        """Yield decoded rows as dicts."""
+        for i in range(self._length):
+            yield self.row(i)
+
+    def head(self, k: int = 5) -> list[dict[str, object]]:
+        """Return the first ``k`` decoded rows."""
+        return [self.row(i) for i in range(min(k, self._length))]
+
+    def __repr__(self) -> str:
+        return f"Table({self._length} rows, columns={self.names})"

@@ -1,0 +1,146 @@
+"""Weighted undirected graphs.
+
+The GraphBuilder and GraphClustering modules of SCube operate on the
+unipartite projection of the individuals×groups bipartite graph: nodes
+are groups (companies), edge weights count shared individuals (directors).
+This module provides the storage layer — a mutable adjacency-map builder
+that freezes into CSR arrays for traversal-heavy algorithms.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import GraphError
+
+
+class Graph:
+    """A weighted undirected graph over nodes ``0 .. n_nodes-1``.
+
+    Self-loops are rejected; parallel edge insertions accumulate weight.
+    """
+
+    def __init__(self, n_nodes: int):
+        if n_nodes < 0:
+            raise GraphError("n_nodes must be non-negative")
+        self.n_nodes = n_nodes
+        self._adj: list[dict[int, float]] = [dict() for _ in range(n_nodes)]
+        self._csr: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    @classmethod
+    def from_edges(
+        cls, n_nodes: int, edges: Iterable[tuple[int, int, float]]
+    ) -> "Graph":
+        """Build from ``(u, v, weight)`` triples."""
+        graph = cls(n_nodes)
+        for u, v, w in edges:
+            graph.add_edge(u, v, w)
+        return graph
+
+    def _check_node(self, u: int) -> None:
+        if not 0 <= u < self.n_nodes:
+            raise GraphError(f"node {u} out of range [0, {self.n_nodes})")
+
+    def add_edge(self, u: int, v: int, weight: float = 1.0) -> None:
+        """Add (or accumulate onto) the undirected edge ``{u, v}``."""
+        self._check_node(u)
+        self._check_node(v)
+        if u == v:
+            raise GraphError(f"self-loop on node {u} not allowed")
+        if weight <= 0:
+            raise GraphError(f"edge weight must be positive, got {weight}")
+        self._adj[u][v] = self._adj[u].get(v, 0.0) + weight
+        self._adj[v][u] = self._adj[v].get(u, 0.0) + weight
+        self._csr = None
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True when the undirected edge ``{u, v}`` exists."""
+        self._check_node(u)
+        self._check_node(v)
+        return v in self._adj[u]
+
+    def weight(self, u: int, v: int) -> float:
+        """Weight of edge ``{u, v}`` (0.0 when absent)."""
+        self._check_node(u)
+        self._check_node(v)
+        return self._adj[u].get(v, 0.0)
+
+    def neighbors(self, u: int) -> Iterator[int]:
+        """Iterate the neighbours of ``u``."""
+        self._check_node(u)
+        return iter(self._adj[u])
+
+    def neighbor_weights(self, u: int) -> Iterator[tuple[int, float]]:
+        """Iterate ``(neighbour, weight)`` pairs of ``u``."""
+        self._check_node(u)
+        return iter(self._adj[u].items())
+
+    def degree(self, u: int) -> int:
+        """Number of neighbours of ``u``."""
+        self._check_node(u)
+        return len(self._adj[u])
+
+    def weighted_degree(self, u: int) -> float:
+        """Sum of incident edge weights of ``u``."""
+        self._check_node(u)
+        return float(sum(self._adj[u].values()))
+
+    @property
+    def n_edges(self) -> int:
+        """Number of undirected edges."""
+        return sum(len(a) for a in self._adj) // 2
+
+    def total_weight(self) -> float:
+        """Sum of edge weights (each undirected edge counted once)."""
+        return sum(sum(a.values()) for a in self._adj) / 2.0
+
+    def edges(self) -> Iterator[tuple[int, int, float]]:
+        """Iterate undirected edges once, as ``(u, v, w)`` with ``u < v``."""
+        for u, adjacency in enumerate(self._adj):
+            for v, w in adjacency.items():
+                if u < v:
+                    yield (u, v, w)
+
+    def isolated_nodes(self) -> list[int]:
+        """Nodes with no incident edge."""
+        return [u for u, adjacency in enumerate(self._adj) if not adjacency]
+
+    def csr(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Frozen CSR view ``(indptr, indices, weights)`` (cached)."""
+        if self._csr is None:
+            degrees = np.fromiter(
+                (len(a) for a in self._adj), dtype=np.int64, count=self.n_nodes
+            )
+            indptr = np.zeros(self.n_nodes + 1, dtype=np.int64)
+            np.cumsum(degrees, out=indptr[1:])
+            indices = np.empty(int(indptr[-1]), dtype=np.int64)
+            weights = np.empty(int(indptr[-1]), dtype=np.float64)
+            for u, adjacency in enumerate(self._adj):
+                start = int(indptr[u])
+                for k, (v, w) in enumerate(sorted(adjacency.items())):
+                    indices[start + k] = v
+                    weights[start + k] = w
+            self._csr = (indptr, indices, weights)
+        return self._csr
+
+    def subgraph_by_edges(
+        self, keep: "callable[[int, int, float], bool]"
+    ) -> "Graph":
+        """A new graph with the same nodes, keeping edges where ``keep`` holds."""
+        out = Graph(self.n_nodes)
+        for u, v, w in self.edges():
+            if keep(u, v, w):
+                out.add_edge(u, v, w)
+        return out
+
+    def weight_histogram(self) -> dict[float, int]:
+        """Edge count per distinct weight (for projection diagnostics)."""
+        hist: dict[float, int] = {}
+        for _, _, w in self.edges():
+            hist[w] = hist.get(w, 0) + 1
+        return hist
+
+    def __repr__(self) -> str:
+        return f"Graph(n_nodes={self.n_nodes}, n_edges={self.n_edges})"

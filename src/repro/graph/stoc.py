@@ -1,0 +1,137 @@
+"""SToC: linear-time clustering of very large attributed graphs.
+
+Reimplementation of the algorithm the paper lists as its third
+GraphClustering method (Baroni, Conte, Patrignani, Ruggieri,
+"Efficiently clustering very large attributed graphs", ASONAM 2017).
+
+SToC grows clusters from seeds: it repeatedly pops an unassigned seed
+node, collects the seed's *τ-close ball* — unassigned nodes reachable
+through already-accepted nodes whose combined topological+attribute
+distance from the seed is at most ``tau`` — and emits the ball as one
+cluster.  The combined distance is the convex combination
+
+    d(s, v) = alpha * d_topo(s, v) + (1 - alpha) * d_attr(s, v)
+
+with ``d_topo`` the BFS hop distance normalised by the ball horizon and
+``d_attr`` the Hamming distance over categorical attributes (the
+published algorithm uses Jaccard over set-valued attributes; for the
+single-valued company attributes of the case studies the two coincide).
+Each node is visited a constant number of times, so the total cost is
+O(nodes + edges) — the property that lets SCube scale to millions of
+companies.
+
+The reference implementation samples seeds randomly; we default to a
+seeded RNG for reproducibility and also expose deterministic
+max-degree-first seeding.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.attributes import NodeAttributeTable
+from repro.graph.components import Clustering
+from repro.graph.graph import Graph
+
+
+def stoc_clustering(
+    graph: Graph,
+    attributes: "NodeAttributeTable | None" = None,
+    tau: float = 0.5,
+    alpha: float = 0.5,
+    horizon: int = 2,
+    seed_order: str = "random",
+    seed: "int | None" = 0,
+) -> Clustering:
+    """Cluster an attributed graph with the SToC ball-growing strategy.
+
+    Parameters
+    ----------
+    attributes:
+        Node attributes; ``None`` reduces the distance to topology only.
+    tau:
+        Distance threshold in [0, 1]; smaller values yield more, tighter
+        clusters.
+    alpha:
+        Weight of the topological term in the combined distance.
+    horizon:
+        Maximum BFS depth of a ball (the τ-ball radius in hops).
+    seed_order:
+        ``"random"`` (reference behaviour, reproducible via ``seed``) or
+        ``"degree"`` (deterministic max-degree-first).
+    """
+    if not 0 <= tau <= 1:
+        raise GraphError(f"tau must be in [0, 1], got {tau}")
+    if not 0 <= alpha <= 1:
+        raise GraphError(f"alpha must be in [0, 1], got {alpha}")
+    if horizon < 1:
+        raise GraphError(f"horizon must be >= 1, got {horizon}")
+    if attributes is not None and attributes.n_nodes != graph.n_nodes:
+        raise GraphError("attribute table size does not match graph")
+
+    n = graph.n_nodes
+    if seed_order == "random":
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(n)
+    elif seed_order == "degree":
+        degrees = np.fromiter((graph.degree(u) for u in range(n)),
+                              dtype=np.int64, count=n)
+        order = np.argsort(-degrees, kind="stable")
+    else:
+        raise GraphError(f"unknown seed_order {seed_order!r}")
+
+    labels = np.full(n, -1, dtype=np.int64)
+    next_label = 0
+    for seed_node in order:
+        seed_node = int(seed_node)
+        if labels[seed_node] != -1:
+            continue
+        ball = _tau_ball(graph, attributes, seed_node, labels, tau, alpha,
+                         horizon)
+        for node in ball:
+            labels[node] = next_label
+        next_label += 1
+    return Clustering(
+        labels, next_label,
+        f"stoc(tau={tau:g},alpha={alpha:g},h={horizon})"
+    )
+
+
+def _tau_ball(
+    graph: Graph,
+    attributes: "NodeAttributeTable | None",
+    seed_node: int,
+    labels: np.ndarray,
+    tau: float,
+    alpha: float,
+    horizon: int,
+) -> list[int]:
+    """Grow the τ-close ball of ``seed_node`` over unassigned nodes.
+
+    Expansion only continues through accepted nodes, so a rejected node
+    never bridges the ball to distant regions.
+    """
+    ball = [seed_node]
+    visited = {seed_node}
+    queue: deque[tuple[int, int]] = deque([(seed_node, 0)])
+    while queue:
+        u, depth = queue.popleft()
+        if depth >= horizon:
+            continue
+        for v in graph.neighbors(u):
+            if v in visited or labels[v] != -1:
+                continue
+            visited.add(v)
+            d_topo = (depth + 1) / horizon
+            if attributes is not None:
+                d_attr = attributes.hamming_distance(seed_node, v)
+            else:
+                d_attr = 0.0
+            distance = alpha * d_topo + (1 - alpha) * d_attr
+            if distance <= tau:
+                ball.append(v)
+                queue.append((v, depth + 1))
+    return ball

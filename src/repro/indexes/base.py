@@ -1,0 +1,105 @@
+"""Index registry: names, metadata and the default SCube index set.
+
+The cube builder is "parametric to the indexes" (paper §2): it receives a
+list of index names and fills one metric per cell and per index.  The
+registry maps the canonical names — ``D``, ``G``, ``H``, ``Iso``,
+``Int``, ``A`` — to their implementations and documents their ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import partial
+from typing import Callable
+
+from repro.errors import SegregationIndexError
+from repro.indexes import binary
+from repro.indexes.counts import UnitCounts
+
+IndexFunc = Callable[[UnitCounts], float]
+
+
+@dataclass(frozen=True)
+class IndexSpec:
+    """Metadata and implementation of one segregation index."""
+
+    name: str
+    long_name: str
+    func: IndexFunc
+    #: (low, high) theoretical bounds of the index value.
+    bounds: tuple[float, float]
+    #: True when 0 means "no segregation" and the maximum means complete
+    #: segregation (false for exposure-type indexes like Interaction).
+    higher_is_more_segregated: bool
+
+    def compute(self, counts: UnitCounts) -> float:
+        """Evaluate the index on per-unit counts."""
+        return self.func(counts)
+
+
+_REGISTRY: dict[str, IndexSpec] = {}
+
+
+def register(spec: IndexSpec) -> IndexSpec:
+    """Add an index to the global registry (used for custom indexes too)."""
+    key = spec.name.upper()
+    if key in _REGISTRY:
+        raise SegregationIndexError(f"index {spec.name!r} already registered")
+    _REGISTRY[key] = spec
+    return spec
+
+
+def get_index(name: str) -> IndexSpec:
+    """Look up an index by (case-insensitive) short name."""
+    try:
+        return _REGISTRY[name.upper()]
+    except KeyError:
+        raise SegregationIndexError(
+            f"unknown index {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def resolve_indexes(names: "list[str] | None") -> list[IndexSpec]:
+    """Resolve a list of index names, defaulting to all six SCube indexes."""
+    if names is None:
+        return list(DEFAULT_INDEXES)
+    return [get_index(n) for n in names]
+
+
+def all_index_names() -> list[str]:
+    """Short names of every registered index."""
+    return [spec.name for spec in _REGISTRY.values()]
+
+
+DISSIMILARITY = register(
+    IndexSpec("D", "Dissimilarity", binary.dissimilarity, (0.0, 1.0), True)
+)
+GINI = register(IndexSpec("G", "Gini", binary.gini, (0.0, 1.0), True))
+INFORMATION = register(
+    IndexSpec("H", "Information", binary.information, (0.0, 1.0), True)
+)
+ISOLATION = register(
+    IndexSpec("Iso", "Isolation", binary.isolation, (0.0, 1.0), True)
+)
+INTERACTION = register(
+    IndexSpec("Int", "Interaction", binary.interaction, (0.0, 1.0), False)
+)
+ATKINSON = register(
+    IndexSpec(
+        "A",
+        "Atkinson(0.5)",
+        partial(binary.atkinson, b=0.5),
+        (0.0, 1.0),
+        True,
+    )
+)
+
+#: The six indexes SCube computes out of the box (paper §2).
+DEFAULT_INDEXES: tuple[IndexSpec, ...] = (
+    DISSIMILARITY,
+    GINI,
+    INFORMATION,
+    ISOLATION,
+    INTERACTION,
+    ATKINSON,
+)

@@ -1,0 +1,124 @@
+"""The six binary segregation indexes computed by SCube (paper §2).
+
+All functions take a :class:`~repro.indexes.counts.UnitCounts` and return
+a float.  Degenerate inputs (empty population, empty minority or empty
+majority) yield ``nan`` — the cube renders such cells as "-", exactly as
+Fig. 1 of the paper displays cells whose coordinates select no minority
+or no population.
+
+Definitions follow Massey & Denton, "The dimensions of residential
+segregation" (Social Forces 67(2), 1988), the reference the paper cites
+for its metrics.  With ``T`` the population, ``M`` the minority size,
+``P = M/T``, and per-unit totals/minority ``t_i`` / ``m_i``,
+``p_i = m_i/t_i``:
+
+* Dissimilarity  ``D = 1/2 * sum_i | m_i/M - (t_i-m_i)/(T-M) |``
+* Gini           ``G = sum_i sum_j t_i t_j |p_i - p_j| / (2 T^2 P (1-P))``
+* Information    ``H = 1 - sum_i t_i E_i / (T E)`` with binary entropies
+  ``E_i = e(p_i)``, ``E = e(P)``
+* Isolation      ``xPx = sum_i (m_i/M)(m_i/t_i)``
+* Interaction    ``xPy = sum_i (m_i/M)((t_i-m_i)/t_i)``
+* Atkinson(b)    ``A = 1 - P/(1-P) * [ sum_i (1-p_i)^(1-b) p_i^b t_i / (P T) ]^(1/(1-b))``
+
+``D``, ``G``, ``H`` and ``A`` lie in ``[0, 1]`` with higher = more
+segregated; ``xPx + xPy = 1``; ``G >= D`` always.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.indexes.counts import UnitCounts
+
+
+def _binary_entropy(p: np.ndarray | float) -> np.ndarray | float:
+    """Shannon entropy of a Bernoulli(p), in bits, with 0*log(0) = 0."""
+    arr = np.asarray(p, dtype=np.float64)
+    out = np.zeros_like(arr)
+    inner = (arr > 0) & (arr < 1)
+    q = arr[inner]
+    out[inner] = -(q * np.log2(q) + (1 - q) * np.log2(1 - q))
+    if np.isscalar(p):
+        return float(out)
+    return out
+
+
+def dissimilarity(counts: UnitCounts) -> float:
+    """Dissimilarity index ``D``: share of the minority that would have to
+    relocate to equalise its distribution across units."""
+    if counts.is_degenerate():
+        return float("nan")
+    minority_share = counts.m / counts.minority_total
+    majority_share = (counts.t - counts.m) / counts.majority_total
+    return float(0.5 * np.abs(minority_share - majority_share).sum())
+
+
+def gini(counts: UnitCounts) -> float:
+    """Gini segregation index ``G``: mean absolute difference between unit
+    minority proportions, weighted by unit sizes and normalised.
+
+    Computed in ``O(n log n)`` by sorting the ``p_i`` (the naive double sum
+    is kept in the test-suite as an oracle).
+    """
+    if counts.is_degenerate():
+        return float("nan")
+    t, m = counts.t, counts.m
+    total = counts.total
+    p_overall = counts.proportion
+    order = np.argsort(counts.unit_proportions, kind="stable")
+    t_sorted = t[order]
+    m_sorted = m[order]
+    # sum_{i<j} t_i t_j (p_j - p_i) for sorted p equals
+    # sum_j [ p_j t_j * cumT_{<j} - t_j * cumM-like term ]; expand p = m/t:
+    # sum_{i<j} (m_j t_i - m_i t_j)
+    cum_t = np.concatenate([[0.0], np.cumsum(t_sorted)])[:-1]
+    cum_m = np.concatenate([[0.0], np.cumsum(m_sorted)])[:-1]
+    cross = float(np.sum(m_sorted * cum_t - t_sorted * cum_m))
+    denom = 2 * total * total * p_overall * (1 - p_overall)
+    return float(2 * cross / denom)
+
+
+def information(counts: UnitCounts) -> float:
+    """Information (entropy) index ``H``, a.k.a. Theil's segregation index."""
+    if counts.is_degenerate():
+        return float("nan")
+    e_overall = _binary_entropy(counts.proportion)
+    if e_overall == 0:
+        return float("nan")
+    e_units = _binary_entropy(counts.unit_proportions)
+    weighted = float((counts.t * e_units).sum()) / (counts.total * e_overall)
+    return float(1.0 - weighted)
+
+
+def isolation(counts: UnitCounts) -> float:
+    """Isolation index ``xPx``: probability that a random minority member
+    meets a minority member in her unit."""
+    if counts.is_degenerate():
+        return float("nan")
+    return float(
+        ((counts.m / counts.minority_total) * counts.unit_proportions).sum()
+    )
+
+
+def interaction(counts: UnitCounts) -> float:
+    """Interaction index ``xPy``: probability that a random minority member
+    meets a majority member in her unit.  ``xPx + xPy = 1``."""
+    if counts.is_degenerate():
+        return float("nan")
+    majority_prop = (counts.t - counts.m) / counts.t
+    return float(((counts.m / counts.minority_total) * majority_prop).sum())
+
+
+def atkinson(counts: UnitCounts, b: float = 0.5) -> float:
+    """Atkinson index ``A(b)`` with inequality-aversion ``b`` in (0, 1)."""
+    if not 0 < b < 1:
+        raise ValueError(f"Atkinson shape parameter b must be in (0,1), got {b}")
+    if counts.is_degenerate():
+        return float("nan")
+    p = counts.unit_proportions
+    p_overall = counts.proportion
+    terms = np.power(1 - p, 1 - b) * np.power(p, b) * counts.t
+    inner = float(terms.sum()) / (p_overall * counts.total)
+    return float(
+        1.0 - (p_overall / (1 - p_overall)) * inner ** (1.0 / (1.0 - b))
+    )

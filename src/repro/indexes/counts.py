@@ -1,0 +1,191 @@
+"""Per-unit population counts — the common input of all segregation indexes.
+
+Following the paper's notation (§2): a population of size ``T`` with a
+minority group of size ``M`` is spread over ``n`` organizational units;
+``t_i`` is the unit-``i`` population and ``m_i`` its minority count.
+:class:`UnitCounts` validates and carries the two vectors ``t`` and ``m``
+and exposes the derived aggregates every index needs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import SegregationIndexError
+
+
+class UnitCounts:
+    """Validated per-unit counts ``(t_i, m_i)`` for binary-group analysis.
+
+    Parameters
+    ----------
+    totals:
+        Population size of each unit (``t_i``); non-negative integers.
+    minority:
+        Minority count of each unit (``m_i``); must satisfy
+        ``0 <= m_i <= t_i``.
+    drop_empty:
+        When True (default), units with ``t_i == 0`` are removed — empty
+        units carry no population and, by definition of every index
+        implemented here, do not affect the result.
+    """
+
+    def __init__(
+        self,
+        totals: Sequence[int] | np.ndarray,
+        minority: Sequence[int] | np.ndarray,
+        drop_empty: bool = True,
+    ):
+        t = np.asarray(totals, dtype=np.float64)
+        m = np.asarray(minority, dtype=np.float64)
+        if t.ndim != 1 or m.ndim != 1:
+            raise SegregationIndexError("totals and minority must be 1-D")
+        if len(t) != len(m):
+            raise SegregationIndexError(
+                f"totals has {len(t)} units, minority has {len(m)}"
+            )
+        if np.any(t < 0) or np.any(m < 0):
+            raise SegregationIndexError("counts must be non-negative")
+        if np.any(m > t):
+            bad = int(np.argmax(m > t))
+            raise SegregationIndexError(
+                f"minority exceeds total in unit {bad}: {m[bad]} > {t[bad]}"
+            )
+        if drop_empty:
+            keep = t > 0
+            t, m = t[keep], m[keep]
+        self.t = t
+        self.m = m
+
+    @classmethod
+    def from_assignments(
+        cls,
+        units: Iterable[int] | np.ndarray,
+        is_minority: Iterable[bool] | np.ndarray,
+        n_units: int | None = None,
+    ) -> "UnitCounts":
+        """Aggregate individual-level data.
+
+        ``units[k]`` is the unit id of individual ``k`` and
+        ``is_minority[k]`` tells whether she belongs to the minority.
+        """
+        u = np.asarray(units, dtype=np.int64)
+        flags = np.asarray(is_minority, dtype=bool)
+        if len(u) != len(flags):
+            raise SegregationIndexError("units and is_minority differ in length")
+        if len(u) and u.min() < 0:
+            raise SegregationIndexError("unit ids must be non-negative")
+        size = n_units if n_units is not None else (int(u.max()) + 1 if len(u) else 0)
+        t = np.bincount(u, minlength=size).astype(np.float64)
+        m = np.bincount(u[flags], minlength=size).astype(np.float64)
+        return cls(t, m)
+
+    @property
+    def n_units(self) -> int:
+        """Number of (non-empty) units."""
+        return len(self.t)
+
+    @property
+    def total(self) -> float:
+        """Total population ``T``."""
+        return float(self.t.sum())
+
+    @property
+    def minority_total(self) -> float:
+        """Minority population ``M``."""
+        return float(self.m.sum())
+
+    @property
+    def majority_total(self) -> float:
+        """Majority population ``T - M``."""
+        return self.total - self.minority_total
+
+    @property
+    def proportion(self) -> float:
+        """Overall minority fraction ``P = M / T`` (nan when ``T == 0``)."""
+        return self.minority_total / self.total if self.total > 0 else float("nan")
+
+    @property
+    def unit_proportions(self) -> np.ndarray:
+        """Per-unit minority fractions ``p_i = m_i / t_i``."""
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.where(self.t > 0, self.m / np.maximum(self.t, 1e-300), 0.0)
+
+    def is_degenerate(self) -> bool:
+        """True when no index is defined: empty, all-minority or no-minority."""
+        return self.total == 0 or self.minority_total == 0 or self.majority_total == 0
+
+    def complement(self) -> "UnitCounts":
+        """Swap minority and majority (``m_i -> t_i - m_i``)."""
+        return UnitCounts(self.t, self.t - self.m, drop_empty=False)
+
+    def merged_with(self, other: "UnitCounts") -> "UnitCounts":
+        """Concatenate two disjoint sets of units."""
+        return UnitCounts(
+            np.concatenate([self.t, other.t]),
+            np.concatenate([self.m, other.m]),
+            drop_empty=False,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"UnitCounts(n_units={self.n_units}, T={self.total:.0f}, "
+            f"M={self.minority_total:.0f})"
+        )
+
+
+class GroupCountsMatrix:
+    """Per-unit counts for ``K >= 2`` groups (multigroup extension).
+
+    ``counts[i, g]`` is the number of members of group ``g`` in unit ``i``.
+    """
+
+    def __init__(self, counts: Sequence[Sequence[int]] | np.ndarray,
+                 drop_empty: bool = True):
+        c = np.asarray(counts, dtype=np.float64)
+        if c.ndim != 2:
+            raise SegregationIndexError("counts must be a 2-D units x groups matrix")
+        if c.shape[1] < 2:
+            raise SegregationIndexError("need at least two groups")
+        if np.any(c < 0):
+            raise SegregationIndexError("counts must be non-negative")
+        if drop_empty:
+            c = c[c.sum(axis=1) > 0]
+        self.counts = c
+
+    @property
+    def n_units(self) -> int:
+        return self.counts.shape[0]
+
+    @property
+    def n_groups(self) -> int:
+        return self.counts.shape[1]
+
+    @property
+    def unit_totals(self) -> np.ndarray:
+        """``t_i``: per-unit population."""
+        return self.counts.sum(axis=1)
+
+    @property
+    def group_totals(self) -> np.ndarray:
+        """``T_g``: per-group population."""
+        return self.counts.sum(axis=0)
+
+    @property
+    def total(self) -> float:
+        return float(self.counts.sum())
+
+    @property
+    def group_proportions(self) -> np.ndarray:
+        """``pi_g = T_g / T``."""
+        return self.group_totals / self.total if self.total > 0 else np.full(
+            self.n_groups, float("nan")
+        )
+
+    def binary(self, group: int) -> UnitCounts:
+        """Collapse to a binary minority-vs-rest view for ``group``."""
+        if not 0 <= group < self.n_groups:
+            raise SegregationIndexError(f"group {group} out of range")
+        return UnitCounts(self.unit_totals, self.counts[:, group])

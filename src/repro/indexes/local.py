@@ -1,0 +1,111 @@
+"""Local (per-unit) segregation statistics.
+
+Global indexes answer "how segregated is the minority overall"; analysts
+exploring a cube cell then ask *which units drive the value*.  This
+module provides the standard per-unit decompositions:
+
+* :func:`local_dissimilarity` — unit contributions summing exactly to D;
+* :func:`local_information` — unit contributions summing exactly to H;
+* :func:`local_isolation` / :func:`local_interaction` — contributions
+  summing to xPx / xPy;
+* :func:`location_quotient` — ``LQ_i = p_i / P``, the classic
+  over/under-representation ratio (1 = parity);
+* :func:`local_profile` — a report-ready table of all of the above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.indexes.binary import _binary_entropy
+from repro.indexes.counts import UnitCounts
+
+
+def local_dissimilarity(counts: UnitCounts) -> np.ndarray:
+    """Per-unit contributions ``0.5 * |m_i/M - (t_i-m_i)/(T-M)|``.
+
+    Sums exactly to the dissimilarity index (property-tested).
+    """
+    if counts.is_degenerate():
+        return np.full(counts.n_units, float("nan"))
+    minority_share = counts.m / counts.minority_total
+    majority_share = (counts.t - counts.m) / counts.majority_total
+    return 0.5 * np.abs(minority_share - majority_share)
+
+
+def local_information(counts: UnitCounts) -> np.ndarray:
+    """Per-unit contributions ``t_i (E - E_i) / (T E)``; sums to H."""
+    if counts.is_degenerate():
+        return np.full(counts.n_units, float("nan"))
+    e_overall = _binary_entropy(counts.proportion)
+    if e_overall == 0:
+        return np.full(counts.n_units, float("nan"))
+    e_units = _binary_entropy(counts.unit_proportions)
+    return counts.t * (e_overall - e_units) / (counts.total * e_overall)
+
+
+def local_isolation(counts: UnitCounts) -> np.ndarray:
+    """Per-unit contributions ``(m_i/M) p_i``; sums to Isolation."""
+    if counts.is_degenerate():
+        return np.full(counts.n_units, float("nan"))
+    return (counts.m / counts.minority_total) * counts.unit_proportions
+
+
+def local_interaction(counts: UnitCounts) -> np.ndarray:
+    """Per-unit contributions ``(m_i/M)(1 - p_i)``; sums to Interaction."""
+    if counts.is_degenerate():
+        return np.full(counts.n_units, float("nan"))
+    majority_prop = (counts.t - counts.m) / counts.t
+    return (counts.m / counts.minority_total) * majority_prop
+
+
+def location_quotient(counts: UnitCounts) -> np.ndarray:
+    """``LQ_i = p_i / P``: >1 over-represented, <1 under-represented."""
+    if counts.is_degenerate():
+        return np.full(counts.n_units, float("nan"))
+    return counts.unit_proportions / counts.proportion
+
+
+@dataclass(frozen=True)
+class LocalProfileRow:
+    """Per-unit diagnostics for one organizational unit."""
+
+    unit: int
+    population: int
+    minority: int
+    proportion: float
+    location_quotient: float
+    d_contribution: float
+    h_contribution: float
+    isolation_contribution: float
+
+
+def local_profile(
+    counts: UnitCounts, unit_labels: "list[str] | None" = None
+) -> "list[LocalProfileRow]":
+    """Full per-unit diagnostic table, sorted by D contribution (desc).
+
+    ``unit_labels`` is accepted for symmetry with report helpers but the
+    rows carry positional unit ids; callers map ids to labels.
+    """
+    lq = location_quotient(counts)
+    d_parts = local_dissimilarity(counts)
+    h_parts = local_information(counts)
+    iso_parts = local_isolation(counts)
+    rows = [
+        LocalProfileRow(
+            unit=i,
+            population=int(counts.t[i]),
+            minority=int(counts.m[i]),
+            proportion=float(counts.unit_proportions[i]),
+            location_quotient=float(lq[i]),
+            d_contribution=float(d_parts[i]),
+            h_contribution=float(h_parts[i]),
+            isolation_contribution=float(iso_parts[i]),
+        )
+        for i in range(counts.n_units)
+    ]
+    rows.sort(key=lambda r: -r.d_contribution)
+    return rows

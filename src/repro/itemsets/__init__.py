@@ -1,0 +1,50 @@
+"""Frequent (closed) itemset mining substrate.
+
+Reimplements, in pure Python/NumPy, the mining stack the original SCube
+borrows from external libraries: FP-growth (Borgelt), a vertical Eclat
+miner with covers, a level-wise Apriori baseline, closed-itemset
+filtering, and EWAH-style compressed bitmaps (JavaEWAH).
+"""
+
+from repro.itemsets.apriori import mine_apriori
+from repro.itemsets.bitmap import EWAHBitmap
+from repro.itemsets.closed import (
+    closure_map,
+    equivalence_classes,
+    filter_closed,
+    filter_maximal,
+    verify_closed,
+)
+from repro.itemsets.eclat import closure_of, mine_eclat
+from repro.itemsets.fpgrowth import FPTree, mine_fpgrowth
+from repro.itemsets.items import Item, ItemDictionary, ItemKind
+from repro.itemsets.miner import (
+    BACKENDS,
+    MiningResult,
+    absolute_minsup,
+    mine,
+)
+from repro.itemsets.transactions import TransactionDatabase, encode_table
+
+__all__ = [
+    "BACKENDS",
+    "EWAHBitmap",
+    "FPTree",
+    "Item",
+    "ItemDictionary",
+    "ItemKind",
+    "MiningResult",
+    "TransactionDatabase",
+    "absolute_minsup",
+    "closure_map",
+    "closure_of",
+    "encode_table",
+    "equivalence_classes",
+    "filter_closed",
+    "filter_maximal",
+    "mine",
+    "mine_apriori",
+    "mine_eclat",
+    "mine_fpgrowth",
+    "verify_closed",
+]

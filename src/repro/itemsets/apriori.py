@@ -1,0 +1,94 @@
+"""Apriori frequent-itemset mining (level-wise baseline).
+
+Kept as the textbook baseline and as a cross-check oracle for the
+vertical (Eclat) and FP-growth miners; the cube builder never uses it on
+large inputs.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.errors import MiningError
+from repro.itemsets.transactions import TransactionDatabase
+
+Itemset = frozenset[int]
+
+
+def _candidate_join(level: list[tuple[int, ...]], k: int) -> set[tuple[int, ...]]:
+    """Join step: merge sorted (k-1)-itemsets sharing a (k-2)-prefix."""
+    candidates: set[tuple[int, ...]] = set()
+    previous = set(level)
+    for a_idx in range(len(level)):
+        for b_idx in range(a_idx + 1, len(level)):
+            a, b = level[a_idx], level[b_idx]
+            if a[: k - 2] != b[: k - 2]:
+                continue
+            merged = tuple(sorted(set(a) | set(b)))
+            if len(merged) != k:
+                continue
+            # Prune step: every (k-1)-subset must be frequent.
+            if all(sub in previous for sub in combinations(merged, k - 1)):
+                candidates.add(merged)
+    return candidates
+
+
+def mine_apriori(
+    db: TransactionDatabase,
+    minsup: int,
+    items: "list[int] | None" = None,
+    max_len: "int | None" = None,
+) -> dict[Itemset, int]:
+    """Mine all frequent itemsets with absolute support >= ``minsup``.
+
+    Parameters
+    ----------
+    items:
+        Restrict mining to these item ids (default: all items).
+    max_len:
+        Maximum itemset length (default: unbounded).
+
+    Returns
+    -------
+    dict mapping each frequent itemset (as a frozenset of item ids,
+    excluding the empty set) to its absolute support.
+    """
+    if minsup < 1:
+        raise MiningError(f"minsup must be >= 1, got {minsup}")
+    allowed = set(items) if items is not None else None
+    rows: list[frozenset[int]] = []
+    for row in db.rows:
+        filtered = (
+            frozenset(row)
+            if allowed is None
+            else frozenset(i for i in row if i in allowed)
+        )
+        rows.append(filtered)
+
+    supports: dict[Itemset, int] = {}
+    singles: dict[int, int] = {}
+    for row in rows:
+        for i in row:
+            singles[i] = singles.get(i, 0) + 1
+    level = sorted((i,) for i, s in singles.items() if s >= minsup)
+    for single in level:
+        supports[frozenset(single)] = singles[single[0]]
+
+    k = 2
+    while level and (max_len is None or k <= max_len):
+        candidates = _candidate_join(level, k)
+        if not candidates:
+            break
+        counts = {c: 0 for c in candidates}
+        candidate_sets = {c: frozenset(c) for c in candidates}
+        for row in rows:
+            if len(row) < k:
+                continue
+            for cand, cand_set in candidate_sets.items():
+                if cand_set <= row:
+                    counts[cand] += 1
+        level = sorted(c for c, n in counts.items() if n >= minsup)
+        for cand in level:
+            supports[frozenset(cand)] = counts[cand]
+        k += 1
+    return supports

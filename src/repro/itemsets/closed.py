@@ -1,0 +1,95 @@
+"""Closed-itemset utilities.
+
+An itemset is *closed* when no strict superset has the same support.
+SCube materialises cube cells only for closed coordinate itemsets
+(paper §2, citing the SegregationDataCubeBuilder of the JIIS paper): a
+non-closed coordinate selects exactly the same population as its closure,
+so its cell would be redundant.
+
+Given the complete dictionary of frequent itemsets, closedness has a
+local characterisation that avoids cover scans: X is closed iff no
+(X ∪ {i}) — which is itself frequent whenever its support equals
+support(X) — appears in the dictionary with the same support.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.itemsets.eclat import closure_of
+from repro.itemsets.transactions import TransactionDatabase
+
+Itemset = frozenset[int]
+
+
+def filter_closed(supports: dict[Itemset, int]) -> dict[Itemset, int]:
+    """Keep only the closed itemsets of a complete frequent-itemset dict.
+
+    Completeness matters: ``supports`` must contain *every* frequent
+    itemset above the mining threshold (the output of any full miner),
+    otherwise an absorbing superset may be missed.
+    """
+    by_size: dict[int, list[Itemset]] = defaultdict(list)
+    for itemset in supports:
+        by_size[len(itemset)].append(itemset)
+    not_closed: set[Itemset] = set()
+    for size, itemsets in by_size.items():
+        if size == 0:
+            continue
+        for itemset in itemsets:
+            support = supports[itemset]
+            for item in itemset:
+                subset = itemset - {item}
+                if subset and supports.get(subset) == support:
+                    not_closed.add(subset)
+    return {k: v for k, v in supports.items() if k not in not_closed}
+
+
+def filter_maximal(supports: dict[Itemset, int]) -> dict[Itemset, int]:
+    """Keep only maximal frequent itemsets (no frequent strict superset)."""
+    not_maximal: set[Itemset] = set()
+    for itemset in supports:
+        for item in itemset:
+            subset = itemset - {item}
+            if subset in supports:
+                not_maximal.add(subset)
+    return {k: v for k, v in supports.items() if k not in not_maximal}
+
+
+def verify_closed(
+    db: TransactionDatabase, itemsets: "list[Itemset]"
+) -> dict[Itemset, bool]:
+    """Ground-truth closedness via the closure operator (test oracle)."""
+    result = {}
+    for itemset in itemsets:
+        cover = db.cover_of(itemset)
+        result[itemset] = closure_of(db, cover) == itemset
+    return result
+
+
+def closure_map(
+    db: TransactionDatabase, supports: dict[Itemset, int]
+) -> dict[Itemset, Itemset]:
+    """Map every frequent itemset to its closure (computed from covers)."""
+    out: dict[Itemset, Itemset] = {}
+    for itemset in supports:
+        cover = db.cover_of(itemset)
+        out[itemset] = closure_of(db, cover)
+    return out
+
+
+def equivalence_classes(
+    closures: dict[Itemset, Itemset]
+) -> dict[Itemset, list[Itemset]]:
+    """Group itemsets by their closure (the cover-equivalence classes)."""
+    classes: dict[Itemset, list[Itemset]] = defaultdict(list)
+    for itemset, closed in closures.items():
+        classes[closed].append(itemset)
+    return dict(classes)
+
+
+def support_of_cover(cover: np.ndarray) -> int:
+    """Support of a boolean cover array."""
+    return int(np.asarray(cover, dtype=bool).sum())

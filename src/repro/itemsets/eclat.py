@@ -1,0 +1,169 @@
+"""Eclat: vertical (cover-based) frequent-itemset mining.
+
+This is the default mining backend of the cube builder: its depth-first
+search carries the *cover* (boolean transaction mask) of every itemset,
+which the SegregationDataCubeBuilder needs anyway to split supports into
+per-unit counts.  Covers are NumPy boolean arrays; the EWAH-compressed
+variant lives in :mod:`repro.itemsets.bitmap` and is benchmarked
+separately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MiningError
+from repro.itemsets.transactions import TransactionDatabase
+
+Itemset = frozenset[int]
+
+
+def mine_eclat(
+    db: TransactionDatabase,
+    minsup: int,
+    items: "list[int] | None" = None,
+    max_len: "int | None" = None,
+    with_covers: bool = False,
+) -> "dict[Itemset, int] | dict[Itemset, np.ndarray]":
+    """Mine all frequent itemsets (support >= ``minsup``), depth-first.
+
+    Parameters
+    ----------
+    items:
+        Restrict mining to these item ids (default: all items).
+    max_len:
+        Maximum itemset length.
+    with_covers:
+        When True the result maps itemsets to their boolean covers
+        (support = ``cover.sum()``); otherwise to integer supports.
+
+    Notes
+    -----
+    Items are ordered by ascending support before the DFS — the classic
+    heuristic that keeps conditional covers small near the root.
+    """
+    if minsup < 1:
+        raise MiningError(f"minsup must be >= 1, got {minsup}")
+    covers = db.covers()
+    candidate_ids = list(items) if items is not None else list(range(db.n_items))
+    frequent = [
+        (i, covers[i]) for i in candidate_ids if int(covers[i].sum()) >= minsup
+    ]
+    frequent.sort(key=lambda pair: int(pair[1].sum()))
+
+    out_covers: dict[Itemset, np.ndarray] = {}
+    out_supports: dict[Itemset, int] = {}
+
+    def record(itemset: tuple[int, ...], cover: np.ndarray, support: int) -> None:
+        key = frozenset(itemset)
+        if with_covers:
+            out_covers[key] = cover
+        else:
+            out_supports[key] = support
+
+    def dfs(prefix: tuple[int, ...], prefix_cover: np.ndarray,
+            tail: list[tuple[int, np.ndarray]]) -> None:
+        if max_len is not None and len(prefix) >= max_len:
+            return
+        for pos, (item, item_cover) in enumerate(tail):
+            cover = prefix_cover & item_cover
+            support = int(cover.sum())
+            if support < minsup:
+                continue
+            itemset = prefix + (item,)
+            record(itemset, cover, support)
+            dfs(itemset, cover, tail[pos + 1:])
+
+    n = len(db)
+    root_cover = np.ones(n, dtype=bool)
+    for pos, (item, item_cover) in enumerate(frequent):
+        support = int(item_cover.sum())
+        record((item,), item_cover, support)
+        dfs((item,), item_cover, frequent[pos + 1:])
+    return out_covers if with_covers else out_supports
+
+
+def mine_eclat_typed(
+    db: TransactionDatabase,
+    minsup: int,
+    sa_ids: "list[int]",
+    ca_ids: "list[int]",
+    max_sa: "int | None" = None,
+    max_ca: "int | None" = None,
+) -> "dict[Itemset, np.ndarray]":
+    """Eclat DFS constrained by per-kind item caps (the cube's lattice).
+
+    Cube coordinates are typed: a cell has at most ``max_sa`` SA items
+    and ``max_ca`` CA items.  Enforcing the caps *during* the DFS — not
+    by post-filtering an unconstrained mine — keeps the search inside
+    the exact coordinate lattice the cube materialises, which is where
+    the builder's advantage over naive enumeration comes from (support
+    pruning cuts subtrees, cover intersections are shared with the
+    parent prefix).
+
+    Returns covers for every frequent itemset within the caps,
+    including the empty itemset's all-true cover.
+    """
+    if minsup < 1:
+        raise MiningError(f"minsup must be >= 1, got {minsup}")
+    covers = db.covers()
+    sa_set = set(sa_ids)
+
+    def kind_cost(item: int) -> tuple[int, int]:
+        return (1, 0) if item in sa_set else (0, 1)
+
+    frequent = [
+        (i, covers[i])
+        for i in list(sa_ids) + list(ca_ids)
+        if int(covers[i].sum()) >= minsup
+    ]
+    frequent.sort(key=lambda pair: int(pair[1].sum()))
+
+    out: dict[Itemset, np.ndarray] = {
+        frozenset(): np.ones(len(db), dtype=bool)
+    }
+
+    def fits(n_sa: int, n_ca: int) -> bool:
+        if max_sa is not None and n_sa > max_sa:
+            return False
+        if max_ca is not None and n_ca > max_ca:
+            return False
+        return True
+
+    def dfs(prefix: tuple[int, ...], prefix_cover: np.ndarray,
+            n_sa: int, n_ca: int,
+            tail: list[tuple[int, np.ndarray]]) -> None:
+        for pos, (item, item_cover) in enumerate(tail):
+            d_sa, d_ca = kind_cost(item)
+            if not fits(n_sa + d_sa, n_ca + d_ca):
+                continue
+            cover = prefix_cover & item_cover
+            if int(cover.sum()) < minsup:
+                continue
+            itemset = prefix + (item,)
+            out[frozenset(itemset)] = cover
+            dfs(itemset, cover, n_sa + d_sa, n_ca + d_ca, tail[pos + 1:])
+
+    root = np.ones(len(db), dtype=bool)
+    dfs((), root, 0, 0, frequent)
+    return out
+
+
+def closure_of(
+    db: TransactionDatabase,
+    cover: np.ndarray,
+    candidate_items: "list[int] | None" = None,
+) -> Itemset:
+    """The closure of a cover: all items present in *every* covered row.
+
+    For an itemset X with cover c, ``closure_of(db, c)`` is the unique
+    maximal itemset with the same cover — the canonical representative the
+    closed-itemset cube stores.
+    """
+    covers = db.covers()
+    support = int(cover.sum())
+    ids = candidate_items if candidate_items is not None else range(db.n_items)
+    closed = [
+        i for i in ids if int((cover & covers[i]).sum()) == support
+    ]
+    return frozenset(closed)

@@ -1,0 +1,115 @@
+"""Uniform mining façade over the three backend algorithms.
+
+The cube builder (and library users) call :func:`mine` with a backend
+name; the backends are interchangeable and return identical results
+(property-tested), differing only in complexity profile:
+
+* ``eclat`` — vertical DFS with NumPy covers (default; covers available);
+* ``fpgrowth`` — FP-tree, best at low minsup on long transactions;
+* ``apriori`` — level-wise baseline, quadratic candidate generation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import MiningError
+from repro.itemsets.apriori import mine_apriori
+from repro.itemsets.closed import filter_closed
+from repro.itemsets.eclat import mine_eclat
+from repro.itemsets.fpgrowth import mine_fpgrowth
+from repro.itemsets.transactions import TransactionDatabase
+
+Itemset = frozenset[int]
+
+BACKENDS = ("eclat", "fpgrowth", "apriori")
+
+
+def absolute_minsup(minsup: "int | float", n_transactions: int) -> int:
+    """Normalise a support threshold.
+
+    Values in ``(0, 1)`` are relative (fraction of transactions, rounded
+    up); integer values >= 1 are absolute counts.
+    """
+    if isinstance(minsup, float) and 0 < minsup < 1:
+        return max(1, math.ceil(minsup * n_transactions))
+    if minsup >= 1 and float(minsup).is_integer():
+        return int(minsup)
+    raise MiningError(
+        f"minsup must be a fraction in (0,1) or an integer >= 1, got {minsup}"
+    )
+
+
+@dataclass
+class MiningResult:
+    """Frequent itemsets with supports and (optionally) covers."""
+
+    supports: dict[Itemset, int]
+    minsup: int
+    backend: str
+    closed_only: bool
+    covers: "dict[Itemset, np.ndarray] | None" = field(default=None, repr=False)
+
+    def __len__(self) -> int:
+        return len(self.supports)
+
+    def support(self, itemset: Itemset) -> int:
+        """Support of ``itemset`` (0 when infrequent / absent)."""
+        return self.supports.get(frozenset(itemset), 0)
+
+    def itemsets_of_size(self, k: int) -> list[Itemset]:
+        """All mined itemsets with exactly ``k`` items."""
+        return [s for s in self.supports if len(s) == k]
+
+
+def mine(
+    db: TransactionDatabase,
+    minsup: "int | float",
+    backend: str = "eclat",
+    closed: bool = False,
+    items: "list[int] | None" = None,
+    max_len: "int | None" = None,
+    with_covers: bool = False,
+) -> MiningResult:
+    """Mine frequent (optionally closed) itemsets from ``db``.
+
+    Parameters
+    ----------
+    minsup:
+        Relative (fraction) or absolute (count) support threshold.
+    backend:
+        One of ``eclat``, ``fpgrowth``, ``apriori``.
+    closed:
+        Keep only closed itemsets.
+    with_covers:
+        Also return boolean covers (forces the ``eclat`` backend, the
+        only cover-producing one).
+    """
+    if backend not in BACKENDS:
+        raise MiningError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+    threshold = absolute_minsup(minsup, len(db))
+    # Closedness of a size-k itemset depends on its (k+1)-supersets, so a
+    # closed mine under a length cap must look one level deeper.
+    mine_len = max_len + 1 if (closed and max_len is not None) else max_len
+    covers = None
+    if with_covers:
+        covers = mine_eclat(db, threshold, items=items, max_len=mine_len,
+                            with_covers=True)
+        supports = {k: int(v.sum()) for k, v in covers.items()}
+        backend = "eclat"
+    elif backend == "eclat":
+        supports = mine_eclat(db, threshold, items=items, max_len=mine_len)
+    elif backend == "fpgrowth":
+        supports = mine_fpgrowth(db, threshold, items=items, max_len=mine_len)
+    else:
+        supports = mine_apriori(db, threshold, items=items, max_len=mine_len)
+    if closed:
+        supports = filter_closed(supports)
+    if max_len is not None:
+        supports = {k: v for k, v in supports.items() if len(k) <= max_len}
+    if covers is not None:
+        covers = {k: v for k, v in covers.items() if k in supports}
+    return MiningResult(supports, threshold, backend, closed, covers)

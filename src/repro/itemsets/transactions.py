@@ -1,0 +1,154 @@
+"""Transaction databases: the mining-ready encoding of ``finalTable``.
+
+"Relational data is transformed into transaction database for itemset
+mining" (paper §2): every row of ``finalTable`` becomes a transaction
+whose items are the ``attribute=value`` pairs of its SA and CA columns;
+multi-valued attributes contribute one item per member "for free".
+The unit id is *not* an item — it rides along as a per-transaction label
+so the builder can split any cover into per-unit counts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import MiningError
+from repro.etl.schema import Role, Schema
+from repro.etl.table import CategoricalColumn, MultiValuedColumn, Table
+from repro.itemsets.items import Item, ItemDictionary, ItemKind
+
+
+class TransactionDatabase:
+    """An immutable transaction database with per-transaction unit labels.
+
+    Attributes
+    ----------
+    rows:
+        One sorted tuple of item ids per transaction.
+    dictionary:
+        The :class:`~repro.itemsets.items.ItemDictionary` describing ids.
+    units:
+        Optional ``int64`` array with the unit id of each transaction.
+    """
+
+    def __init__(
+        self,
+        rows: Sequence[tuple[int, ...]],
+        dictionary: ItemDictionary,
+        units: np.ndarray | None = None,
+    ):
+        self.rows: list[tuple[int, ...]] = [tuple(sorted(set(r))) for r in rows]
+        self.dictionary = dictionary
+        if units is not None:
+            units = np.asarray(units, dtype=np.int64)
+            if len(units) != len(self.rows):
+                raise MiningError(
+                    f"{len(units)} unit labels for {len(self.rows)} transactions"
+                )
+            if len(units) and units.min() < 0:
+                raise MiningError("unit ids must be non-negative")
+        self.units = units
+        self._covers: dict[int, np.ndarray] | None = None
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    @property
+    def n_items(self) -> int:
+        return len(self.dictionary)
+
+    @property
+    def n_units(self) -> int:
+        """Number of distinct unit labels (0 when unlabelled)."""
+        if self.units is None or len(self.units) == 0:
+            return 0
+        return int(self.units.max()) + 1
+
+    def item_supports(self) -> np.ndarray:
+        """Support (transaction count) of every single item."""
+        supports = np.zeros(self.n_items, dtype=np.int64)
+        for row in self.rows:
+            for i in row:
+                supports[i] += 1
+        return supports
+
+    def covers(self) -> dict[int, np.ndarray]:
+        """Vertical layout: boolean cover array per item id (cached)."""
+        if self._covers is None:
+            n = len(self.rows)
+            covers = {i: np.zeros(n, dtype=bool) for i in range(self.n_items)}
+            for t, row in enumerate(self.rows):
+                for i in row:
+                    covers[i][t] = True
+            self._covers = covers
+        return self._covers
+
+    def cover_of(self, itemset: Iterable[int]) -> np.ndarray:
+        """Boolean cover of an itemset (AND of its item covers)."""
+        covers = self.covers()
+        result: np.ndarray | None = None
+        for i in itemset:
+            if i not in covers:
+                raise MiningError(f"item id {i} out of range")
+            result = covers[i] if result is None else result & covers[i]
+        if result is None:
+            return np.ones(len(self.rows), dtype=bool)
+        return result
+
+    def support_of(self, itemset: Iterable[int]) -> int:
+        """Absolute support of an itemset."""
+        return int(self.cover_of(itemset).sum())
+
+    def unit_counts(self, cover: np.ndarray) -> np.ndarray:
+        """Per-unit transaction counts restricted to ``cover``."""
+        if self.units is None:
+            raise MiningError("transaction database has no unit labels")
+        return np.bincount(self.units[cover], minlength=self.n_units)
+
+
+def encode_table(table: Table, schema: Schema) -> TransactionDatabase:
+    """Encode a ``finalTable`` into a :class:`TransactionDatabase`.
+
+    Each SA/CA column contributes items of the matching kind; the schema's
+    unit column becomes the per-transaction unit label.  Rows keep their
+    order, so covers index directly into the original table.
+    """
+    schema.validate(table)
+    dictionary = ItemDictionary()
+    n = len(table)
+    row_items: list[list[int]] = [[] for _ in range(n)]
+    for spec in schema.specs:
+        if spec.role is Role.SEGREGATION:
+            kind = ItemKind.SA
+        elif spec.role is Role.CONTEXT:
+            kind = ItemKind.CA
+        else:
+            continue
+        col = table.column(spec.name)
+        if isinstance(col, CategoricalColumn):
+            ids = [
+                dictionary.add(Item(spec.name, value), kind)
+                for value in col.categories
+            ]
+            for t in range(n):
+                row_items[t].append(ids[col.codes[t]])
+        elif isinstance(col, MultiValuedColumn):
+            ids = [
+                dictionary.add(Item(spec.name, value), kind)
+                for value in col.categories
+            ]
+            for t in range(n):
+                row_items[t].extend(ids[c] for c in col.rows[t])
+        else:
+            raise MiningError(
+                f"cannot encode column {spec.name!r} of kind {col.kind}"
+            )
+    units: np.ndarray | None = None
+    unit_names = [s.name for s in schema.specs if s.role is Role.UNIT]
+    if unit_names:
+        units = table.ints(unit_names[0]).data
+    return TransactionDatabase(
+        [tuple(sorted(set(items))) for items in row_items], dictionary, units
+    )

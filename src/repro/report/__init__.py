@@ -1,0 +1,38 @@
+"""Reporting: xlsx workbooks, pivots, radial series, text tables.
+
+Implements SCube's *Visualizer* module (paper §3): the cube is exported
+to an OOXML workbook for pivot-table exploration, and to text/CSV
+renderings for console and benchmark output.
+"""
+
+from repro.report.html import cube_to_html
+from repro.report.pivot import pivot, pivot_values
+from repro.report.radial import RadialSeries, radial_series, render_radial
+from repro.report.text import bar, format_value, render_dict_rows, render_table
+from repro.report.xlsx import (
+    HEADER_STYLE,
+    Sheet,
+    Workbook,
+    cell_reference,
+    column_letter,
+    rows_to_workbook,
+)
+
+__all__ = [
+    "HEADER_STYLE",
+    "RadialSeries",
+    "Sheet",
+    "Workbook",
+    "bar",
+    "cell_reference",
+    "cube_to_html",
+    "column_letter",
+    "format_value",
+    "pivot",
+    "pivot_values",
+    "radial_series",
+    "render_dict_rows",
+    "render_radial",
+    "render_table",
+    "rows_to_workbook",
+]

@@ -1,0 +1,106 @@
+"""Tests of the temporal trend API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.trend import (
+    TrendPoint,
+    segregation_trend,
+    snapshot_seats_table,
+    trend_rows,
+)
+from repro.data.estonia import EstoniaConfig, generate_estonia
+from repro.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def estonia():
+    return generate_estonia(EstoniaConfig(n_companies=800, seed=4))
+
+
+class TestSnapshotSeatsTable:
+    def test_joins_both_entities(self, estonia):
+        table, schema = snapshot_seats_table(estonia, 2005)
+        assert len(table) == len(estonia.membership.snapshot(2005))
+        assert set(schema.sa_names) == {"gender", "age", "birthplace"}
+        assert set(schema.ca_names) == {"sector", "county"}
+        schema.validate(table)
+
+    def test_untimed_snapshot_covers_all(self, italy_small):
+        table, _ = snapshot_seats_table(italy_small, None)
+        assert len(table) == len(italy_small.membership)
+
+    def test_empty_date_rejected(self, estonia):
+        with pytest.raises(ReproError, match="no membership"):
+            snapshot_seats_table(estonia, 1700)
+
+    def test_seat_rows_join_correct_attributes(self, estonia):
+        pairs = estonia.membership.snapshot(2005)
+        table, _ = snapshot_seats_table(estonia, 2005)
+        genders = estonia.individuals.categorical("gender")
+        sectors = estonia.groups.categorical("sector")
+        for k in (0, len(pairs) // 2, len(pairs) - 1):
+            director, company = pairs[k]
+            row = table.row(k)
+            assert row["gender"] == genders[director]
+            assert row["sector"] == sectors[company]
+
+
+class TestSegregationTrend:
+    def test_series_shape(self, estonia):
+        points = segregation_trend(
+            estonia, range(2000, 2010, 3), "sector", {"gender": "F"},
+            indexes=["D", "Iso"],
+        )
+        assert len(points) == 4
+        for point in points:
+            assert set(point.values) == {"D", "Iso"}
+            assert 0 <= point.value("D") <= 1
+            assert point.minority <= point.population
+
+    def test_dates_without_membership_skipped(self, estonia):
+        points = segregation_trend(
+            estonia, [1700, 2005], "sector", {"gender": "F"}
+        )
+        assert [p.date for p in points] == [2005]
+
+    def test_conjunctive_subgroup(self, estonia):
+        broad = segregation_trend(estonia, [2005], "sector",
+                                  {"gender": "F"})
+        narrow = segregation_trend(
+            estonia, [2005], "sector", {"gender": "F", "age": "39-46"}
+        )
+        assert narrow[0].minority < broad[0].minority
+
+    def test_unit_attr_from_groups(self, estonia):
+        points = segregation_trend(estonia, [2005], "county",
+                                   {"gender": "F"})
+        assert points[0].n_units <= 15
+
+    def test_trend_rows_rendering(self, estonia):
+        points = segregation_trend(estonia, [2003, 2006], "sector",
+                                   {"gender": "F"}, indexes=["D"])
+        rows = trend_rows(points)
+        assert len(rows) == 2
+        assert rows[0][0] == 2003
+        assert len(rows[0]) == 5         # date, T, M, P, D
+
+    def test_trend_rows_empty(self):
+        assert trend_rows([]) == []
+
+    def test_planted_drift_visible(self):
+        dataset = generate_estonia(EstoniaConfig(n_companies=3000, seed=9))
+        points = segregation_trend(
+            dataset, [1998, 2013], "sector", {"gender": "F"}, indexes=["D"]
+        )
+        assert points[1].proportion > points[0].proportion
+
+
+class TestTrendPoint:
+    def test_value_accessor(self):
+        point = TrendPoint(2000, 10, 3, 0.3, 2, {"D": 0.5})
+        assert point.value("D") == 0.5
+        import math
+
+        assert math.isnan(point.value("G"))

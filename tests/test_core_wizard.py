@@ -1,0 +1,131 @@
+"""Tests of the CLI wizard (run in-process via main(argv))."""
+
+from __future__ import annotations
+
+import zipfile
+
+import pytest
+
+from repro.core.wizard import build_parser, main
+
+
+class TestParser:
+    def test_subcommands_exist(self):
+        parser = build_parser()
+        for argv in (
+            ["demo"],
+            ["generate", "schools"],
+            ["tabular", "--individuals", "x.csv", "--unit-attr", "u",
+             "--sa", "g"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_missing_subcommand_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestGenerate:
+    def test_generate_schools(self, tmp_path, capsys):
+        assert main(["generate", "schools", "--out-dir", str(tmp_path)]) == 0
+        assert (tmp_path / "students.csv").exists()
+        assert "students.csv" in capsys.readouterr().out
+
+    def test_generate_italy_writes_three_csvs(self, tmp_path, capsys):
+        assert main(["generate", "italy", "--out-dir", str(tmp_path)]) == 0
+        for name in ("individual.csv", "group.csv", "individualGroup.csv",
+                     "finalTable_tabular.csv"):
+            assert (tmp_path / name).exists(), name
+
+    def test_generate_estonia_has_intervals(self, tmp_path):
+        assert main(["generate", "estonia", "--out-dir", str(tmp_path)]) == 0
+        text = (tmp_path / "individualGroup.csv").read_text()
+        header = text.splitlines()[0]
+        assert header == "individualID,groupID,start,end"
+
+
+class TestDemo:
+    def test_demo_end_to_end(self, tmp_path, capsys):
+        out = tmp_path / "scube.xlsx"
+        code = main(
+            [
+                "demo",
+                "--companies", "300",
+                "--min-population", "10",
+                "--min-minority", "3",
+                "--output", str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        captured = capsys.readouterr().out
+        assert "[step 1/5]" in captured
+        assert "[step 5/5]" in captured
+        assert "top-10 contexts" in captured
+        with zipfile.ZipFile(out) as zf:
+            assert "xl/workbook.xml" in zf.namelist()
+
+
+class TestTabular:
+    def test_tabular_on_generated_csv(self, tmp_path, capsys):
+        main(["generate", "schools", "--out-dir", str(tmp_path)])
+        out = tmp_path / "cube.xlsx"
+        code = main(
+            [
+                "tabular",
+                "--individuals", str(tmp_path / "students.csv"),
+                "--unit-attr", "school",
+                "--sa", "ethnicity", "sex",
+                "--ca", "city",
+                "--min-population", "10",
+                "--min-minority", "3",
+                "--output", str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "Rivertown" in capsys.readouterr().out
+
+
+class TestBipartiteCommand:
+    def test_bipartite_on_generated_csvs(self, tmp_path, capsys):
+        main(["generate", "italy", "--out-dir", str(tmp_path)])
+        out = tmp_path / "bip.xlsx"
+        code = main(
+            [
+                "bipartite",
+                "--individuals", str(tmp_path / "individual.csv"),
+                "--groups", str(tmp_path / "group.csv"),
+                "--membership", str(tmp_path / "individualGroup.csv"),
+                "--sa", "gender", "age", "birthplace",
+                "--ca", "residence",
+                "--group-ca", "sector", "province", "region",
+                "--min-population", "20",
+                "--min-minority", "5",
+                "--output", str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+
+    def test_bipartite_with_snapshot_date(self, tmp_path, capsys):
+        main(["generate", "estonia", "--out-dir", str(tmp_path)])
+        out = tmp_path / "snap.xlsx"
+        code = main(
+            [
+                "bipartite",
+                "--individuals", str(tmp_path / "individual.csv"),
+                "--groups", str(tmp_path / "group.csv"),
+                "--membership", str(tmp_path / "individualGroup.csv"),
+                "--sa", "gender", "age", "birthplace",
+                "--group-ca", "sector", "county",
+                "--min-population", "10",
+                "--min-minority", "3",
+                "--snapshot-date", "2010",
+                "--output", str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "snapshot at 2010" in capsys.readouterr().out

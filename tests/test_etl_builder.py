@@ -1,0 +1,191 @@
+"""Tests of TableBuilder: finalTable construction for all scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaError, TableError
+from repro.etl.builder import (
+    UNIT_COLUMN,
+    build_final_table,
+    tabular_final_table,
+)
+from repro.etl.schema import Role, Schema
+from repro.etl.table import Table
+
+
+@pytest.fixture()
+def individuals():
+    return Table.from_dict(
+        {
+            "pid": [0, 1, 2],
+            "gender": ["F", "M", "F"],
+            "residence": ["north", "south", "north"],
+        }
+    )
+
+
+@pytest.fixture()
+def individuals_schema():
+    return Schema.build(
+        segregation=["gender"], context=["residence"], id_="pid"
+    )
+
+
+@pytest.fixture()
+def groups():
+    return Table.from_dict(
+        {
+            "gid": [10, 11, 12],
+            "sector": ["electricity", "transports", "education"],
+        }
+    )
+
+
+@pytest.fixture()
+def groups_schema():
+    return Schema.build(context=["sector"], id_="gid")
+
+
+class TestBuildFinalTable:
+    def test_one_row_per_individual_and_unit(
+        self, individuals, individuals_schema, groups, groups_schema
+    ):
+        membership = [(0, 10), (0, 11), (1, 12), (2, 10)]
+        node_unit = {10: 0, 11: 0, 12: 1}
+        table, schema = build_final_table(
+            individuals, individuals_schema, groups, groups_schema,
+            membership, node_unit,
+        )
+        # individual 0 has two groups in unit 0 -> one row with merged sector
+        assert len(table) == 3
+        rows = list(table.iter_rows())
+        row0 = next(r for r in rows if r["gender"] == "F" and r[UNIT_COLUMN] == 0
+                    and r["residence"] == "north"
+                    and len(r["sector"]) == 2)
+        assert row0["sector"] == frozenset({"electricity", "transports"})
+
+    def test_paper_fig3_multivalued_sector(
+        self, individuals, individuals_schema, groups, groups_schema
+    ):
+        """The Fig. 3 example: two boards in one unit merge their sectors."""
+        table, schema = build_final_table(
+            individuals, individuals_schema, groups, groups_schema,
+            [(0, 10), (0, 11)], {10: 5, 11: 5},
+        )
+        assert len(table) == 1
+        assert table.row(0)["sector"] == frozenset(
+            {"electricity", "transports"}
+        )
+        assert schema.spec("sector").multi_valued
+        assert schema.unit_name == UNIT_COLUMN
+
+    def test_same_individual_two_units_two_rows(
+        self, individuals, individuals_schema, groups, groups_schema
+    ):
+        table, _ = build_final_table(
+            individuals, individuals_schema, groups, groups_schema,
+            [(0, 10), (0, 12)], {10: 0, 12: 1},
+        )
+        assert len(table) == 2
+        units = sorted(r[UNIT_COLUMN] for r in table.iter_rows())
+        assert units == [0, 1]
+
+    def test_groups_missing_from_node_unit_skipped(
+        self, individuals, individuals_schema, groups, groups_schema
+    ):
+        table, _ = build_final_table(
+            individuals, individuals_schema, groups, groups_schema,
+            [(0, 10), (1, 11)], {10: 0},
+        )
+        assert len(table) == 1
+
+    def test_unknown_membership_id_raises(
+        self, individuals, individuals_schema, groups, groups_schema
+    ):
+        with pytest.raises(TableError, match="unknown id"):
+            build_final_table(
+                individuals, individuals_schema, groups, groups_schema,
+                [(99, 10)], {10: 0},
+            )
+
+    def test_groups_with_sa_rejected(
+        self, individuals, individuals_schema, groups
+    ):
+        bad_schema = Schema.build(
+            segregation=["sector"], id_="gid"
+        )
+        with pytest.raises(SchemaError, match="must not declare"):
+            build_final_table(
+                individuals, individuals_schema, groups, bad_schema,
+                [(0, 10)], {10: 0},
+            )
+
+    def test_duplicate_ids_rejected(self, individuals_schema, groups,
+                                    groups_schema):
+        duplicated = Table.from_dict(
+            {"pid": [0, 0], "gender": ["F", "M"], "residence": ["north", "south"]}
+        )
+        with pytest.raises(TableError, match="duplicate ids"):
+            build_final_table(
+                duplicated, individuals_schema, groups, groups_schema,
+                [(0, 10)], {10: 0},
+            )
+
+    def test_multivalued_group_attribute_merged(self, individuals,
+                                                individuals_schema):
+        groups = Table.from_dict(
+            {"gid": [10, 11], "tags": [{"a", "b"}, {"b", "c"}]}
+        )
+        groups_schema = Schema.build(
+            context=["tags"], id_="gid", multi_valued=["tags"]
+        )
+        table, _ = build_final_table(
+            individuals, individuals_schema, groups, groups_schema,
+            [(0, 10), (0, 11)], {10: 0, 11: 0},
+        )
+        assert table.row(0)["tags"] == frozenset({"a", "b", "c"})
+
+    def test_output_schema_roles(
+        self, individuals, individuals_schema, groups, groups_schema
+    ):
+        _, schema = build_final_table(
+            individuals, individuals_schema, groups, groups_schema,
+            [(0, 10)], {10: 0},
+        )
+        assert schema.sa_names == ["gender"]
+        assert set(schema.ca_names) == {"residence", "sector"}
+        assert schema.unit_name == UNIT_COLUMN
+
+
+class TestTabularFinalTable:
+    def test_categorical_unit_attribute(self):
+        table = Table.from_dict(
+            {"gender": ["F", "M"], "sector": ["a", "b"]}
+        )
+        schema = Schema.build(segregation=["gender"], context=["sector"])
+        final, final_schema = tabular_final_table(table, schema, "sector")
+        assert UNIT_COLUMN in final
+        assert "sector" not in final
+        assert final.ints(UNIT_COLUMN).values() == [0, 1]
+        assert final_schema.unit_name == UNIT_COLUMN
+        assert final_schema.ca_names == []
+
+    def test_integer_unit_attribute(self):
+        table = Table.from_dict({"gender": ["F"], "school": [7]})
+        schema = Schema.build(segregation=["gender"], context=[])
+        schema = schema.with_spec(
+            # unit source column present in the table but not SA/CA
+            __import__("repro.etl.schema", fromlist=["AttributeSpec"])
+            .AttributeSpec("school", Role.IGNORE)
+        )
+        final, _ = tabular_final_table(table, schema, "school")
+        assert final.ints(UNIT_COLUMN).values() == [7]
+
+    def test_multivalued_unit_rejected(self):
+        table = Table.from_dict({"gender": ["F"], "mv": [{"a"}]})
+        schema = Schema.build(
+            segregation=["gender"], context=["mv"], multi_valued=["mv"]
+        )
+        with pytest.raises(TableError, match="categorical or integer"):
+            tabular_final_table(table, schema, "mv")

@@ -1,0 +1,77 @@
+"""Tests of CSV reading/writing including multi-valued cells."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TableError
+from repro.etl.csvio import read_table, write_rows, write_table
+from repro.etl.table import Table
+
+
+class TestRoundTrip:
+    def test_plain_table(self, tmp_path):
+        table = Table.from_dict({"a": ["x", "y"], "n": [1, 2]})
+        path = tmp_path / "t.csv"
+        write_table(table, path)
+        back = read_table(path, integer=["n"])
+        assert back.categorical("a").values() == ["x", "y"]
+        assert back.ints("n").values() == [1, 2]
+
+    def test_multi_valued_cells(self, tmp_path):
+        table = Table.from_dict(
+            {"tags": [{"b", "a"}, set(), {"c"}], "id": [0, 1, 2]}
+        )
+        path = tmp_path / "mv.csv"
+        write_table(table, path)
+        back = read_table(path, multi_valued=["tags"], integer=["id"])
+        assert back.multivalued("tags").values() == [
+            frozenset({"a", "b"}),
+            frozenset(),
+            frozenset({"c"}),
+        ]
+
+    def test_multi_valued_serialisation_is_sorted(self, tmp_path):
+        table = Table.from_dict({"tags": [{"z", "a", "m"}]})
+        path = tmp_path / "s.csv"
+        write_table(table, path)
+        text = path.read_text()
+        assert "a|m|z" in text
+
+    def test_write_rows_helper(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        write_rows([(1, "x"), (2, "y")], ["n", "s"], path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "n,s"
+        assert lines[1] == "1,x"
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "dir" / "t.csv"
+        write_table(Table.from_dict({"a": ["x"]}), path)
+        assert path.exists()
+
+
+class TestReadErrors:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(TableError, match="empty"):
+            read_table(path)
+
+    def test_ragged_rows(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1\n")
+        with pytest.raises(TableError, match="does not match header"):
+            read_table(path)
+
+    def test_bad_integer(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("n\nxyz\n")
+        with pytest.raises(TableError, match="expected integer"):
+            read_table(path, integer=["n"])
+
+    def test_empty_multivalued_cell_is_empty_set(self, tmp_path):
+        path = tmp_path / "e.csv"
+        path.write_text("tags\n\n")
+        table = read_table(path, multi_valued=["tags"])
+        assert table.multivalued("tags").values() == [frozenset()]

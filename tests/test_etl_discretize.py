@@ -1,0 +1,82 @@
+"""Tests of numeric discretisation and the paper's age bins."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TableError
+from repro.etl.discretize import (
+    PAPER_AGE_EDGES,
+    bin_labels,
+    discretize,
+    equal_width_edges,
+    paper_age_column,
+    quantile_edges,
+)
+
+
+class TestBinLabels:
+    def test_paper_style_integer_labels(self):
+        labels = bin_labels([15, 39, 47], open_ended=True)
+        assert labels == ["15-38", "39-46", "47+"]
+
+    def test_closed_labels(self):
+        labels = bin_labels([0, 10, 20], open_ended=False)
+        assert labels == ["0-9", "10-19"]
+
+    def test_float_labels(self):
+        labels = bin_labels([0.5, 1.5], open_ended=False)
+        assert labels == ["0.5-1.5"]
+
+    def test_too_few_edges(self):
+        with pytest.raises(TableError):
+            bin_labels([1])
+
+
+class TestDiscretize:
+    def test_assigns_expected_bins(self):
+        col = discretize([20, 40, 50, 60, 70], PAPER_AGE_EDGES)
+        assert col.values() == ["15-38", "39-46", "47-54", "55-65", "66+"]
+
+    def test_boundaries_are_left_closed(self):
+        col = discretize([39, 46, 47], PAPER_AGE_EDGES)
+        assert col.values() == ["39-46", "39-46", "47-54"]
+
+    def test_below_range_clamped_to_first(self):
+        col = discretize([3], PAPER_AGE_EDGES)
+        assert col.values() == ["15-38"]
+
+    def test_closed_top_bin_clamps(self):
+        col = discretize([100], [0, 10, 20], open_ended=False)
+        assert col.values() == ["10-19"]
+
+    def test_paper_age_column_shortcut(self):
+        assert paper_age_column([30]).values() == ["15-38"]
+
+
+class TestEdgeComputation:
+    def test_equal_width_spans_range(self):
+        edges = equal_width_edges([0, 10], 5)
+        assert edges[0] == 0 and edges[-1] == 10
+        assert len(edges) == 6
+
+    def test_equal_width_constant_data(self):
+        edges = equal_width_edges([5, 5], 2)
+        assert edges[0] < edges[-1]
+
+    def test_quantile_edges_balanced(self):
+        values = list(range(100))
+        edges = quantile_edges(values, 4)
+        assert edges[0] == 0 and edges[-1] == 99
+
+    def test_quantile_duplicates_collapsed(self):
+        edges = quantile_edges([1, 1, 1, 1], 4)
+        assert len(edges) >= 2
+
+    def test_invalid_inputs(self):
+        with pytest.raises(TableError):
+            equal_width_edges([], 3)
+        with pytest.raises(TableError):
+            equal_width_edges([1], 0)
+        with pytest.raises(TableError):
+            quantile_edges([], 3)

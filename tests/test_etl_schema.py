@@ -1,0 +1,103 @@
+"""Tests of schema declarations and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.etl.schema import AttributeSpec, Role, Schema
+from repro.etl.table import Table
+
+
+class TestSchemaBuild:
+    def test_build_collects_roles(self):
+        schema = Schema.build(
+            segregation=["sex", "age"],
+            context=["region"],
+            unit="unitID",
+            id_="pid",
+            multi_valued=["region"],
+        )
+        assert schema.sa_names == ["sex", "age"]
+        assert schema.ca_names == ["region"]
+        assert schema.unit_name == "unitID"
+        assert schema.id_name == "pid"
+        assert schema.spec("region").multi_valued
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema.build(segregation=["a"], context=["a"])
+
+    def test_two_units_rejected(self):
+        with pytest.raises(SchemaError, match="more than one unit"):
+            Schema(
+                [
+                    AttributeSpec("u1", Role.UNIT),
+                    AttributeSpec("u2", Role.UNIT),
+                ]
+            )
+
+    def test_multivalued_unit_rejected(self):
+        with pytest.raises(SchemaError):
+            AttributeSpec("u", Role.UNIT, multi_valued=True)
+
+    def test_missing_unit_raises_on_access(self):
+        schema = Schema.build(segregation=["sex"])
+        with pytest.raises(SchemaError, match="no unit"):
+            schema.unit_name
+
+    def test_unknown_spec_raises(self):
+        schema = Schema.build(segregation=["sex"])
+        with pytest.raises(SchemaError, match="not in schema"):
+            schema.spec("nope")
+
+    def test_with_spec_replaces(self):
+        schema = Schema.build(segregation=["sex"])
+        updated = schema.with_spec(AttributeSpec("sex", Role.CONTEXT))
+        assert updated.ca_names == ["sex"]
+        assert updated.sa_names == []
+
+    def test_analysis_names_order(self):
+        schema = Schema.build(segregation=["s"], context=["c1", "c2"])
+        assert schema.analysis_names() == ["s", "c1", "c2"]
+
+
+class TestValidation:
+    @pytest.fixture()
+    def table(self):
+        return Table.from_dict(
+            {
+                "sex": ["F", "M"],
+                "tags": [{"a"}, {"b"}],
+                "unitID": [0, 1],
+            }
+        )
+
+    def test_valid_schema_passes(self, table):
+        schema = Schema.build(
+            segregation=["sex"],
+            context=["tags"],
+            unit="unitID",
+            multi_valued=["tags"],
+        )
+        schema.validate(table)
+
+    def test_missing_column(self, table):
+        schema = Schema.build(segregation=["age"])
+        with pytest.raises(SchemaError, match="missing column"):
+            schema.validate(table)
+
+    def test_unit_must_be_integer(self, table):
+        schema = Schema.build(unit="sex")
+        with pytest.raises(SchemaError, match="must be integer"):
+            schema.validate(table)
+
+    def test_multiplicity_mismatch_single_declared_multi_stored(self, table):
+        schema = Schema.build(segregation=["tags"])
+        with pytest.raises(SchemaError, match="single-valued"):
+            schema.validate(table)
+
+    def test_multiplicity_mismatch_multi_declared_single_stored(self, table):
+        schema = Schema.build(segregation=["sex"], multi_valued=["sex"])
+        with pytest.raises(SchemaError, match="multi-valued"):
+            schema.validate(table)

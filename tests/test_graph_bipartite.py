@@ -1,0 +1,136 @@
+"""Tests of the bipartite graph and the GraphBuilder projections."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph.bipartite import (
+    BipartiteGraph,
+    project_onto_groups,
+    project_onto_individuals,
+)
+
+from tests.oracles import projection_bruteforce
+
+
+class TestBipartiteGraph:
+    def test_edges_are_idempotent(self):
+        g = BipartiteGraph(2, 2)
+        g.add_edge(0, 1)
+        g.add_edge(0, 1)
+        assert g.n_edges == 1
+
+    def test_membership_queries(self):
+        g = BipartiteGraph.from_edges(3, 2, [(0, 0), (1, 0), (2, 1)])
+        assert g.members_of(0) == {0, 1}
+        assert g.groups_of(2) == {1}
+        assert g.left_degrees() == [1, 1, 1]
+        assert g.right_degrees() == [2, 1]
+
+    def test_out_of_range_rejected(self):
+        g = BipartiteGraph(1, 1)
+        with pytest.raises(GraphError):
+            g.add_edge(1, 0)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 1)
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(GraphError):
+            BipartiteGraph(-1, 3)
+
+
+class TestGroupProjection:
+    def test_paper_semantics_shared_directors_weight(self):
+        """Two companies sharing two directors -> edge weight 2."""
+        g = BipartiteGraph.from_edges(
+            3, 2, [(0, 0), (0, 1), (1, 0), (1, 1), (2, 1)]
+        )
+        result = project_onto_groups(g)
+        assert result.graph.weight(0, 1) == 2.0
+        assert result.isolated == []
+
+    def test_isolated_groups_reported(self):
+        g = BipartiteGraph.from_edges(2, 3, [(0, 0), (0, 1)])
+        result = project_onto_groups(g)
+        assert result.isolated == [2]
+
+    def test_min_shared_threshold(self):
+        g = BipartiteGraph.from_edges(
+            3, 2, [(0, 0), (0, 1), (1, 0), (1, 1), (2, 0)]
+        )
+        result = project_onto_groups(g, min_shared=2)
+        assert result.graph.weight(0, 1) == 2.0
+        weak = project_onto_groups(g, min_shared=3)
+        assert weak.graph.n_edges == 0
+
+    def test_hub_guard_skips_big_directors(self):
+        # Director 0 sits everywhere; with the guard the projection is empty.
+        g = BipartiteGraph.from_edges(1, 4, [(0, k) for k in range(4)])
+        result = project_onto_groups(g, max_left_degree=3)
+        assert result.graph.n_edges == 0
+        assert result.skipped_hubs == [0]
+
+    def test_invalid_min_shared(self):
+        g = BipartiteGraph(1, 1)
+        with pytest.raises(GraphError):
+            project_onto_groups(g, min_shared=0)
+
+
+class TestIndividualProjection:
+    def test_directors_sharing_a_board_connected(self):
+        g = BipartiteGraph.from_edges(3, 2, [(0, 0), (1, 0), (2, 1)])
+        result = project_onto_individuals(g)
+        assert result.graph.has_edge(0, 1)
+        assert not result.graph.has_edge(0, 2)
+        assert result.isolated == [2]
+
+    def test_weight_counts_shared_boards(self):
+        g = BipartiteGraph.from_edges(2, 3, [(0, 0), (1, 0), (0, 1), (1, 1),
+                                             (0, 2)])
+        result = project_onto_individuals(g)
+        assert result.graph.weight(0, 1) == 2.0
+
+    def test_hub_guard_on_groups(self):
+        g = BipartiteGraph.from_edges(4, 1, [(k, 0) for k in range(4)])
+        result = project_onto_individuals(g, max_right_degree=3)
+        assert result.graph.n_edges == 0
+        assert result.skipped_hubs == [0]
+
+
+@given(
+    st.integers(1, 12),
+    st.integers(1, 8),
+    st.lists(st.tuples(st.integers(0, 11), st.integers(0, 7)), max_size=60),
+)
+@settings(max_examples=60, deadline=None)
+def test_projection_matches_bruteforce(n_left, n_right, raw_edges):
+    edges = [(l % n_left, r % n_right) for l, r in raw_edges]
+    g = BipartiteGraph.from_edges(n_left, n_right, edges)
+    result = project_onto_groups(g)
+    expected = projection_bruteforce(n_left, n_right, edges)
+    actual = {
+        (u, v): int(w) for u, v, w in result.graph.edges()
+    }
+    assert actual == expected
+
+
+@given(
+    st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=50)
+)
+@settings(max_examples=40, deadline=None)
+def test_projection_symmetry(raw_edges):
+    """Projecting onto individuals of the transposed graph equals
+    projecting onto groups of the original."""
+    g = BipartiteGraph.from_edges(10, 10, raw_edges)
+    transposed = BipartiteGraph.from_edges(
+        10, 10, [(r, l) for l, r in raw_edges]
+    )
+    onto_groups = project_onto_groups(g)
+    onto_left = project_onto_individuals(transposed)
+    a = sorted((u, v, w) for u, v, w in onto_groups.graph.edges())
+    b = sorted((u, v, w) for u, v, w in onto_left.graph.edges())
+    assert a == b

@@ -1,0 +1,116 @@
+"""Tests of the weighted undirected graph storage layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+
+
+class TestConstruction:
+    def test_add_edge_is_symmetric(self):
+        g = Graph(3)
+        g.add_edge(0, 1, 2.0)
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert g.weight(0, 1) == 2.0
+        assert g.weight(1, 0) == 2.0
+
+    def test_parallel_edges_accumulate(self):
+        g = Graph(2)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(0, 1, 2.5)
+        assert g.weight(0, 1) == 3.5
+        assert g.n_edges == 1
+
+    def test_self_loop_rejected(self):
+        g = Graph(2)
+        with pytest.raises(GraphError, match="self-loop"):
+            g.add_edge(1, 1)
+
+    def test_non_positive_weight_rejected(self):
+        g = Graph(2)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 1, 0.0)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 1, -1.0)
+
+    def test_out_of_range_node_rejected(self):
+        g = Graph(2)
+        with pytest.raises(GraphError, match="out of range"):
+            g.add_edge(0, 2)
+        with pytest.raises(GraphError):
+            g.degree(-1)
+
+    def test_from_edges(self):
+        g = Graph.from_edges(4, [(0, 1, 1.0), (2, 3, 5.0)])
+        assert g.n_edges == 2
+        assert g.weight(2, 3) == 5.0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(-1)
+
+
+class TestQueries:
+    @pytest.fixture()
+    def graph(self):
+        return Graph.from_edges(
+            5, [(0, 1, 1.0), (0, 2, 2.0), (1, 2, 3.0), (3, 4, 1.0)]
+        )
+
+    def test_degree_and_weighted_degree(self, graph):
+        assert graph.degree(0) == 2
+        assert graph.weighted_degree(0) == 3.0
+        assert graph.degree(3) == 1
+
+    def test_neighbors(self, graph):
+        assert sorted(graph.neighbors(0)) == [1, 2]
+        assert dict(graph.neighbor_weights(1)) == {0: 1.0, 2: 3.0}
+
+    def test_edges_enumerated_once(self, graph):
+        edges = list(graph.edges())
+        assert len(edges) == 4
+        assert all(u < v for u, v, _ in edges)
+
+    def test_totals(self, graph):
+        assert graph.total_weight() == 7.0
+        assert graph.n_edges == 4
+
+    def test_isolated_nodes(self):
+        g = Graph(4)
+        g.add_edge(0, 1)
+        assert g.isolated_nodes() == [2, 3]
+
+    def test_weight_of_absent_edge_is_zero(self, graph):
+        assert graph.weight(0, 4) == 0.0
+
+    def test_weight_histogram(self, graph):
+        assert graph.weight_histogram() == {1.0: 2, 2.0: 1, 3.0: 1}
+
+
+class TestCSR:
+    def test_csr_shape_and_sorting(self):
+        g = Graph.from_edges(3, [(0, 2, 1.0), (0, 1, 2.0)])
+        indptr, indices, weights = g.csr()
+        assert indptr.tolist() == [0, 2, 3, 4]
+        assert indices[:2].tolist() == [1, 2]      # sorted neighbours
+        assert weights[:2].tolist() == [2.0, 1.0]
+
+    def test_csr_invalidated_on_mutation(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        first = g.csr()
+        g.add_edge(1, 2)
+        second = g.csr()
+        assert len(second[1]) == 4
+        assert len(first[1]) == 2
+
+
+class TestSubgraph:
+    def test_subgraph_by_edges_filters(self):
+        g = Graph.from_edges(4, [(0, 1, 1.0), (1, 2, 5.0), (2, 3, 2.0)])
+        heavy = g.subgraph_by_edges(lambda u, v, w: w >= 2.0)
+        assert heavy.n_edges == 2
+        assert not heavy.has_edge(0, 1)
+        assert heavy.n_nodes == 4

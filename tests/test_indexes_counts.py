@@ -1,0 +1,128 @@
+"""Tests of the UnitCounts / GroupCountsMatrix containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SegregationIndexError
+from repro.indexes.counts import GroupCountsMatrix, UnitCounts
+
+from tests.oracles import unit_counts_bruteforce
+
+
+class TestUnitCountsValidation:
+    def test_minority_cannot_exceed_total(self):
+        with pytest.raises(SegregationIndexError, match="exceeds total"):
+            UnitCounts([5, 5], [6, 0])
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(SegregationIndexError):
+            UnitCounts([5, -1], [0, 0])
+        with pytest.raises(SegregationIndexError):
+            UnitCounts([5, 5], [-1, 0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SegregationIndexError, match="units"):
+            UnitCounts([5, 5, 5], [1, 2])
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(SegregationIndexError):
+            UnitCounts([[1, 2]], [[0, 1]])
+
+
+class TestUnitCountsDerived:
+    def test_aggregates(self):
+        counts = UnitCounts([10, 20, 30], [1, 2, 3])
+        assert counts.total == 60
+        assert counts.minority_total == 6
+        assert counts.majority_total == 54
+        assert counts.proportion == pytest.approx(0.1)
+        assert counts.n_units == 3
+
+    def test_unit_proportions(self):
+        counts = UnitCounts([10, 20], [5, 5])
+        assert counts.unit_proportions == pytest.approx([0.5, 0.25])
+
+    def test_degenerate_flags(self):
+        assert UnitCounts([10], [0]).is_degenerate()
+        assert UnitCounts([10], [10]).is_degenerate()
+        assert UnitCounts([], []).is_degenerate()
+        assert not UnitCounts([10], [5]).is_degenerate()
+
+    def test_complement_swaps_groups(self):
+        counts = UnitCounts([10, 20], [3, 7])
+        swapped = counts.complement()
+        assert swapped.m.tolist() == [7, 13]
+        assert swapped.t.tolist() == [10, 20]
+
+    def test_merged_with_concatenates(self):
+        a = UnitCounts([10], [2])
+        b = UnitCounts([20, 5], [3, 1])
+        merged = a.merged_with(b)
+        assert merged.n_units == 3
+        assert merged.total == 35
+
+    def test_repr_mentions_shape(self):
+        text = repr(UnitCounts([10, 20], [3, 7]))
+        assert "n_units=2" in text and "T=30" in text
+
+
+class TestFromAssignments:
+    def test_matches_bruteforce(self):
+        rng = np.random.default_rng(1)
+        units = rng.integers(0, 7, 200)
+        minority = rng.random(200) < 0.3
+        fast = UnitCounts.from_assignments(units, minority)
+        slow = unit_counts_bruteforce(units, minority)
+        assert fast.t.tolist() == slow.t.tolist()
+        assert fast.m.tolist() == slow.m.tolist()
+
+    def test_n_units_override_pads(self):
+        counts = UnitCounts.from_assignments(
+            [0, 0, 2], [True, False, True], n_units=5
+        )
+        # empty units dropped by default
+        assert counts.n_units == 2
+
+    def test_negative_unit_rejected(self):
+        with pytest.raises(SegregationIndexError):
+            UnitCounts.from_assignments([-1, 0], [True, False])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SegregationIndexError):
+            UnitCounts.from_assignments([0, 1], [True])
+
+
+class TestGroupCountsMatrix:
+    def test_basic_aggregates(self):
+        matrix = GroupCountsMatrix([[5, 5], [2, 8]])
+        assert matrix.n_units == 2
+        assert matrix.n_groups == 2
+        assert matrix.total == 20
+        assert matrix.unit_totals.tolist() == [10, 10]
+        assert matrix.group_totals.tolist() == [7, 13]
+        assert matrix.group_proportions == pytest.approx([0.35, 0.65])
+
+    def test_binary_view(self):
+        matrix = GroupCountsMatrix([[5, 5], [2, 8]])
+        counts = matrix.binary(0)
+        assert counts.t.tolist() == [10.0, 10.0]
+        assert counts.m.tolist() == [5.0, 2.0]
+
+    def test_binary_out_of_range(self):
+        matrix = GroupCountsMatrix([[5, 5], [2, 8]])
+        with pytest.raises(SegregationIndexError):
+            matrix.binary(2)
+
+    def test_one_group_rejected(self):
+        with pytest.raises(SegregationIndexError):
+            GroupCountsMatrix([[5], [2]])
+
+    def test_negative_rejected(self):
+        with pytest.raises(SegregationIndexError):
+            GroupCountsMatrix([[5, -1]])
+
+    def test_empty_units_dropped(self):
+        matrix = GroupCountsMatrix([[5, 5], [0, 0], [2, 8]])
+        assert matrix.n_units == 2

@@ -1,0 +1,99 @@
+"""Tests of bootstrap confidence intervals and randomisation tests."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import SegregationIndexError
+from repro.indexes.base import get_index
+from repro.indexes.binary import dissimilarity
+from repro.indexes.counts import UnitCounts
+from repro.indexes.inference import bootstrap_ci, randomization_test
+
+
+@pytest.fixture()
+def segregated():
+    """Strongly segregated counts: D = 0.8."""
+    return UnitCounts([50, 50], [45, 5])
+
+
+@pytest.fixture()
+def balanced():
+    """Perfectly even counts: D = 0."""
+    return UnitCounts([50, 50], [15, 15])
+
+
+class TestBootstrap:
+    def test_interval_contains_estimate_for_stable_data(self, segregated):
+        result = bootstrap_ci(dissimilarity, segregated, n_boot=200, seed=1)
+        assert result.low <= result.estimate <= result.high
+        assert result.estimate == pytest.approx(0.8)
+
+    def test_interval_is_ordered_and_bounded(self, segregated):
+        result = bootstrap_ci(dissimilarity, segregated, n_boot=200, seed=2)
+        assert 0.0 <= result.low <= result.high <= 1.0
+
+    def test_reproducible_with_seed(self, segregated):
+        a = bootstrap_ci(dissimilarity, segregated, n_boot=100, seed=7)
+        b = bootstrap_ci(dissimilarity, segregated, n_boot=100, seed=7)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_different_seeds_differ(self, segregated):
+        a = bootstrap_ci(dissimilarity, segregated, n_boot=100, seed=1)
+        b = bootstrap_ci(dissimilarity, segregated, n_boot=100, seed=2)
+        assert (a.low, a.high) != (b.low, b.high)
+
+    def test_invalid_parameters(self, segregated):
+        with pytest.raises(SegregationIndexError):
+            bootstrap_ci(dissimilarity, segregated, n_boot=0)
+        with pytest.raises(SegregationIndexError):
+            bootstrap_ci(dissimilarity, segregated, alpha=1.5)
+
+    def test_narrower_interval_with_larger_units(self):
+        small = UnitCounts([20, 20], [15, 5])
+        large = UnitCounts([2000, 2000], [1500, 500])
+        r_small = bootstrap_ci(dissimilarity, small, n_boot=200, seed=3)
+        r_large = bootstrap_ci(dissimilarity, large, n_boot=200, seed=3)
+        assert (r_large.high - r_large.low) < (r_small.high - r_small.low)
+
+
+class TestRandomization:
+    def test_segregated_data_is_significant(self, segregated):
+        result = randomization_test(dissimilarity, segregated,
+                                    n_permutations=300, seed=0)
+        assert result.p_value < 0.02
+        assert result.observed == pytest.approx(0.8)
+        assert result.excess > 0.5
+
+    def test_even_data_is_not_significant(self, balanced):
+        result = randomization_test(dissimilarity, balanced,
+                                    n_permutations=300, seed=0)
+        assert result.p_value > 0.5
+        assert result.observed == pytest.approx(0.0)
+
+    def test_expected_under_null_positive_small_sample(self):
+        """Random segregation baseline: D > 0 in expectation for small M."""
+        counts = UnitCounts([10] * 10, [1] * 10)
+        result = randomization_test(dissimilarity, counts,
+                                    n_permutations=200, seed=4)
+        assert result.expected_under_null > 0.1
+
+    def test_reproducible_with_seed(self, segregated):
+        a = randomization_test(dissimilarity, segregated, n_permutations=50,
+                               seed=9)
+        b = randomization_test(dissimilarity, segregated, n_permutations=50,
+                               seed=9)
+        assert a.p_value == b.p_value
+
+    def test_invalid_parameters(self, segregated):
+        with pytest.raises(SegregationIndexError):
+            randomization_test(dissimilarity, segregated, n_permutations=0)
+
+    def test_works_with_registered_indexes(self, segregated):
+        for name in ("D", "G", "H", "Iso", "A"):
+            spec = get_index(name)
+            result = randomization_test(spec.compute, segregated,
+                                        n_permutations=50, seed=0)
+            assert not math.isnan(result.p_value)

@@ -1,0 +1,98 @@
+"""Tests of local (per-unit) index decompositions."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.indexes.binary import (
+    dissimilarity,
+    information,
+    interaction,
+    isolation,
+)
+from repro.indexes.counts import UnitCounts
+from repro.indexes.local import (
+    local_dissimilarity,
+    local_information,
+    local_interaction,
+    local_isolation,
+    local_profile,
+    location_quotient,
+)
+
+from tests.test_indexes_properties import unit_counts
+
+
+class TestDecompositionSums:
+    """The defining property: local contributions sum to the global index."""
+
+    @given(unit_counts())
+    @settings(max_examples=80, deadline=None)
+    def test_dissimilarity_sum(self, counts):
+        assert local_dissimilarity(counts).sum() == pytest.approx(
+            dissimilarity(counts)
+        )
+
+    @given(unit_counts())
+    @settings(max_examples=80, deadline=None)
+    def test_information_sum(self, counts):
+        parts = local_information(counts)
+        if np.isnan(parts).all():
+            assert math.isnan(information(counts))
+        else:
+            assert parts.sum() == pytest.approx(information(counts))
+
+    @given(unit_counts())
+    @settings(max_examples=80, deadline=None)
+    def test_isolation_and_interaction_sums(self, counts):
+        assert local_isolation(counts).sum() == pytest.approx(
+            isolation(counts)
+        )
+        assert local_interaction(counts).sum() == pytest.approx(
+            interaction(counts)
+        )
+
+
+class TestLocationQuotient:
+    def test_parity_is_one(self):
+        counts = UnitCounts([10, 20], [3, 6])
+        assert location_quotient(counts) == pytest.approx([1.0, 1.0])
+
+    def test_over_under_representation(self):
+        counts = UnitCounts([10, 10], [8, 2])
+        lq = location_quotient(counts)
+        assert lq[0] == pytest.approx(1.6)
+        assert lq[1] == pytest.approx(0.4)
+
+    def test_degenerate_is_nan(self):
+        counts = UnitCounts([10], [0])
+        assert np.isnan(location_quotient(counts)).all()
+
+
+class TestLocalProfile:
+    def test_sorted_by_d_contribution(self):
+        counts = UnitCounts([10, 10, 10], [9, 3, 0])
+        rows = local_profile(counts)
+        contributions = [r.d_contribution for r in rows]
+        assert contributions == sorted(contributions, reverse=True)
+
+    def test_row_fields_consistent(self):
+        counts = UnitCounts([10, 30], [8, 6])
+        rows = local_profile(counts)
+        by_unit = {r.unit: r for r in rows}
+        assert by_unit[0].population == 10
+        assert by_unit[0].minority == 8
+        assert by_unit[0].proportion == pytest.approx(0.8)
+        assert by_unit[1].location_quotient == pytest.approx(
+            0.2 / (14 / 40)
+        )
+
+    def test_identifies_driving_unit(self):
+        """The unit hosting the concentrated minority tops the profile."""
+        counts = UnitCounts([10, 10, 10, 10], [9, 1, 1, 1])
+        rows = local_profile(counts)
+        assert rows[0].unit == 0

@@ -1,0 +1,139 @@
+"""Tests of the multigroup index generalisations."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.indexes.binary import dissimilarity, gini, information
+from repro.indexes.counts import GroupCountsMatrix, UnitCounts
+from repro.indexes.multigroup import (
+    multigroup_dissimilarity,
+    multigroup_entropy,
+    multigroup_gini,
+    multigroup_information,
+    normalized_exposure,
+)
+
+ALL_MULTIGROUP = (
+    multigroup_dissimilarity,
+    multigroup_gini,
+    multigroup_information,
+    normalized_exposure,
+)
+
+
+@st.composite
+def group_matrices(draw, max_units=12, max_groups=4):
+    n_units = draw(st.integers(2, max_units))
+    n_groups = draw(st.integers(2, max_groups))
+    counts = [
+        [draw(st.integers(0, 30)) for _ in range(n_groups)]
+        for _ in range(n_units)
+    ]
+    matrix = GroupCountsMatrix(counts)
+    assume(matrix.total > 0)
+    assume(int((matrix.group_totals > 0).sum()) >= 2)
+    return matrix
+
+
+class TestEntropy:
+    def test_uniform_two_groups(self):
+        assert multigroup_entropy(np.array([0.5, 0.5])) == pytest.approx(
+            math.log(2)
+        )
+
+    def test_degenerate_single_mass(self):
+        assert multigroup_entropy(np.array([1.0, 0.0])) == pytest.approx(0.0)
+
+
+class TestBinaryConsistency:
+    """For K=2 the multigroup indexes coincide with the binary ones."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_information_matches_binary(self, seed):
+        rng = np.random.default_rng(seed)
+        t = rng.integers(1, 30, 10)
+        m = rng.integers(0, t + 1)
+        binary_counts = UnitCounts(t, m)
+        if binary_counts.is_degenerate():
+            pytest.skip("degenerate draw")
+        matrix = GroupCountsMatrix(np.column_stack([m, t - m]))
+        assert multigroup_information(matrix) == pytest.approx(
+            information(binary_counts), abs=1e-9
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_dissimilarity_matches_binary(self, seed):
+        rng = np.random.default_rng(50 + seed)
+        t = rng.integers(1, 30, 10)
+        m = rng.integers(0, t + 1)
+        binary_counts = UnitCounts(t, m)
+        if binary_counts.is_degenerate():
+            pytest.skip("degenerate draw")
+        matrix = GroupCountsMatrix(np.column_stack([m, t - m]))
+        # Reardon-Firebaugh D reduces to binary D at K=2.
+        assert multigroup_dissimilarity(matrix) == pytest.approx(
+            dissimilarity(binary_counts), abs=1e-9
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_gini_matches_binary(self, seed):
+        rng = np.random.default_rng(90 + seed)
+        t = rng.integers(1, 30, 8)
+        m = rng.integers(0, t + 1)
+        binary_counts = UnitCounts(t, m)
+        if binary_counts.is_degenerate():
+            pytest.skip("degenerate draw")
+        matrix = GroupCountsMatrix(np.column_stack([m, t - m]))
+        assert multigroup_gini(matrix) == pytest.approx(
+            gini(binary_counts), abs=1e-9
+        )
+
+
+class TestExtremes:
+    def test_complete_separation_is_one(self):
+        # Each unit hosts exactly one group.
+        matrix = GroupCountsMatrix([[10, 0, 0], [0, 10, 0], [0, 0, 10]])
+        assert multigroup_dissimilarity(matrix) == pytest.approx(1.0)
+        assert multigroup_gini(matrix) == pytest.approx(1.0)
+        assert multigroup_information(matrix) == pytest.approx(1.0)
+        assert normalized_exposure(matrix) == pytest.approx(1.0)
+
+    def test_even_mix_is_zero(self):
+        matrix = GroupCountsMatrix([[6, 3, 1], [12, 6, 2], [6, 3, 1]])
+        assert multigroup_dissimilarity(matrix) == pytest.approx(0.0, abs=1e-12)
+        assert multigroup_gini(matrix) == pytest.approx(0.0, abs=1e-12)
+        assert multigroup_information(matrix) == pytest.approx(0.0, abs=1e-12)
+        assert normalized_exposure(matrix) == pytest.approx(0.0, abs=1e-12)
+
+    def test_degenerate_returns_nan(self):
+        matrix = GroupCountsMatrix([[5, 0], [7, 0]])
+        for func in ALL_MULTIGROUP:
+            assert math.isnan(func(matrix))
+
+
+@given(group_matrices())
+@settings(max_examples=80, deadline=None)
+def test_multigroup_indexes_in_unit_interval(matrix):
+    for func in ALL_MULTIGROUP:
+        value = func(matrix)
+        assert -1e-9 <= value <= 1 + 1e-9, func.__name__
+
+
+@given(group_matrices(), st.integers(2, 5))
+@settings(max_examples=60, deadline=None)
+def test_multigroup_scale_invariance(matrix, k):
+    scaled = GroupCountsMatrix(matrix.counts * k)
+    for func in ALL_MULTIGROUP:
+        assert func(scaled) == pytest.approx(func(matrix), abs=1e-9)
+
+
+@given(group_matrices())
+@settings(max_examples=60, deadline=None)
+def test_multigroup_gini_dominates_dissimilarity(matrix):
+    assert multigroup_gini(matrix) >= multigroup_dissimilarity(matrix) - 1e-9

@@ -1,0 +1,120 @@
+"""Tests of spatially-adjusted dissimilarity (the checkerboard problem)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import SegregationIndexError
+from repro.graph.graph import Graph
+from repro.indexes.binary import dissimilarity
+from repro.indexes.counts import UnitCounts
+from repro.indexes.spatial import (
+    adjusted_dissimilarity,
+    boundary_term,
+    checkerboard_gap,
+    grid_adjacency,
+)
+
+
+def _checkerboard_counts(n_rows: int, n_cols: int, unit_size: int = 10):
+    """Alternating all-minority / all-majority cells on a grid."""
+    shares = [
+        unit_size if (r + c) % 2 == 0 else 0
+        for r in range(n_rows)
+        for c in range(n_cols)
+    ]
+    t = [unit_size] * (n_rows * n_cols)
+    return UnitCounts(t, shares, drop_empty=False)
+
+
+def _clustered_counts(n_rows: int, n_cols: int, unit_size: int = 10):
+    """All-minority cells in the left half, all-majority in the right."""
+    shares = [
+        unit_size if c < n_cols // 2 else 0
+        for r in range(n_rows)
+        for c in range(n_cols)
+    ]
+    t = [unit_size] * (n_rows * n_cols)
+    return UnitCounts(t, shares, drop_empty=False)
+
+
+class TestGridAdjacency:
+    def test_grid_shape(self):
+        grid = grid_adjacency(2, 3)
+        assert grid.n_nodes == 6
+        # 2 rows x 3 cols: 2*2 horizontal + 3 vertical = 7 edges
+        assert grid.n_edges == 7
+        assert grid.has_edge(0, 1) and grid.has_edge(0, 3)
+        assert not grid.has_edge(0, 4)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(SegregationIndexError):
+            grid_adjacency(0, 3)
+
+
+class TestBoundaryTerm:
+    def test_checkerboard_boundary_is_maximal(self):
+        counts = _checkerboard_counts(4, 4)
+        grid = grid_adjacency(4, 4)
+        # Every adjacent pair differs by |1 - 0| = 1.
+        assert boundary_term(counts, grid) == pytest.approx(1.0)
+
+    def test_clustered_boundary_is_small(self):
+        counts = _clustered_counts(4, 4)
+        grid = grid_adjacency(4, 4)
+        # Only the 4 edges crossing the centre line differ.
+        assert boundary_term(counts, grid) == pytest.approx(4 / 24)
+
+    def test_no_adjacency_means_no_correction(self):
+        counts = UnitCounts([10, 10], [8, 2])
+        empty = Graph(2)
+        assert boundary_term(counts, empty) == 0.0
+
+    def test_size_mismatch_rejected(self):
+        counts = UnitCounts([10, 10], [8, 2])
+        with pytest.raises(SegregationIndexError, match="nodes"):
+            boundary_term(counts, Graph(3))
+
+    def test_weighted_contiguity(self):
+        counts = UnitCounts([10, 10, 10], [10, 0, 5], drop_empty=False)
+        graph = Graph(3)
+        graph.add_edge(0, 1, 3.0)      # |1-0| weighted 3
+        graph.add_edge(1, 2, 1.0)      # |0-0.5| weighted 1
+        expected = (3.0 * 1.0 + 1.0 * 0.5) / 4.0
+        assert boundary_term(counts, graph, weighted=True) == pytest.approx(
+            expected
+        )
+
+
+class TestAdjustedDissimilarity:
+    def test_checkerboard_correction_dominates(self):
+        """Scattered segregation: D = 1 but D(adj) drops by the full
+        boundary term — the checkerboard artefact the index fixes."""
+        counts = _checkerboard_counts(4, 4)
+        grid = grid_adjacency(4, 4)
+        assert dissimilarity(counts) == pytest.approx(1.0)
+        assert adjusted_dissimilarity(counts, grid) == pytest.approx(0.0)
+        assert checkerboard_gap(counts, grid) == pytest.approx(1.0)
+
+    def test_clustered_pattern_keeps_most_of_d(self):
+        counts = _clustered_counts(4, 4)
+        grid = grid_adjacency(4, 4)
+        assert dissimilarity(counts) == pytest.approx(1.0)
+        adjusted = adjusted_dissimilarity(counts, grid)
+        assert adjusted == pytest.approx(1.0 - 4 / 24)
+        assert checkerboard_gap(counts, grid) < 0.2
+
+    def test_scattered_vs_clustered_ordering(self):
+        """Same aspatial D, different geography: the spatial index ranks
+        the ghetto pattern above the scattered one."""
+        grid = grid_adjacency(4, 4)
+        scattered = adjusted_dissimilarity(_checkerboard_counts(4, 4), grid)
+        clustered = adjusted_dissimilarity(_clustered_counts(4, 4), grid)
+        assert clustered > scattered
+
+    def test_degenerate_is_nan(self):
+        counts = UnitCounts([10, 10], [0, 0], drop_empty=False)
+        assert math.isnan(adjusted_dissimilarity(counts, Graph(2)))
+        assert math.isnan(checkerboard_gap(counts, Graph(2)))

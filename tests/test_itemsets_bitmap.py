@@ -1,0 +1,194 @@
+"""Unit and property tests of the EWAH-style compressed bitmap."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MiningError
+from repro.itemsets.bitmap import EWAHBitmap, WORD_BITS
+
+
+class TestConstruction:
+    def test_from_bools_round_trip(self):
+        bits = np.array([True, False, True, True] + [False] * 100)
+        bitmap = EWAHBitmap.from_bools(bits)
+        assert bitmap.to_bools().tolist() == bits.tolist()
+        assert bitmap.count() == 3
+
+    def test_from_indices(self):
+        bitmap = EWAHBitmap.from_indices([0, 5, 63, 64, 127], 200)
+        assert bitmap.to_indices().tolist() == [0, 5, 63, 64, 127]
+
+    def test_from_indices_out_of_range(self):
+        with pytest.raises(MiningError):
+            EWAHBitmap.from_indices([10], 5)
+        with pytest.raises(MiningError):
+            EWAHBitmap.from_indices([-1], 5)
+
+    def test_zeros_and_ones(self):
+        assert EWAHBitmap.zeros(130).count() == 0
+        assert EWAHBitmap.ones(130).count() == 130
+
+    def test_empty_bitmap(self):
+        bitmap = EWAHBitmap.from_bools(np.array([], dtype=bool))
+        assert bitmap.count() == 0
+        assert bitmap.size == 0
+        assert bitmap.to_bools().tolist() == []
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(MiningError):
+            EWAHBitmap(-1)
+
+
+class TestCompression:
+    def test_long_zero_run_compresses(self):
+        bitmap = EWAHBitmap.from_indices([0, 100_000], 100_001)
+        assert bitmap.memory_words() < 10
+        assert bitmap.n_words == (100_001 + 63) // 64
+        assert bitmap.compression_ratio() > 100
+
+    def test_all_ones_compresses(self):
+        bitmap = EWAHBitmap.ones(64 * 1000)
+        assert bitmap.memory_words() <= 2
+
+    def test_random_data_does_not_crash(self):
+        rng = np.random.default_rng(0)
+        bits = rng.random(1000) < 0.5
+        bitmap = EWAHBitmap.from_bools(bits)
+        assert bitmap.count() == int(bits.sum())
+
+
+class TestAccess:
+    def test_get_across_segments(self):
+        bitmap = EWAHBitmap.from_indices([3, 64, 200], 300)
+        assert bitmap.get(3) and bitmap.get(64) and bitmap.get(200)
+        assert not bitmap.get(4) and not bitmap.get(299)
+
+    def test_get_out_of_range(self):
+        bitmap = EWAHBitmap.zeros(10)
+        with pytest.raises(MiningError):
+            bitmap.get(10)
+
+    def test_repr_mentions_counts(self):
+        text = repr(EWAHBitmap.from_indices([1], 100))
+        assert "set=1" in text
+
+
+class TestLogicalOps:
+    @pytest.fixture()
+    def pair(self):
+        rng = np.random.default_rng(7)
+        a = rng.random(500) < 0.3
+        b = rng.random(500) < 0.6
+        return a, b, EWAHBitmap.from_bools(a), EWAHBitmap.from_bools(b)
+
+    def test_and(self, pair):
+        a, b, ba, bb = pair
+        assert (ba & bb).to_bools().tolist() == (a & b).tolist()
+
+    def test_or(self, pair):
+        a, b, ba, bb = pair
+        assert (ba | bb).to_bools().tolist() == (a | b).tolist()
+
+    def test_xor(self, pair):
+        a, b, ba, bb = pair
+        assert (ba ^ bb).to_bools().tolist() == (a ^ b).tolist()
+
+    def test_andnot(self, pair):
+        a, b, ba, bb = pair
+        assert ba.logical_andnot(bb).to_bools().tolist() == (a & ~b).tolist()
+
+    def test_not_respects_size(self, pair):
+        a, _, ba, _ = pair
+        flipped = ~ba
+        assert flipped.to_bools().tolist() == (~a).tolist()
+        assert flipped.count() == int((~a).sum())
+
+    def test_intersect_count(self, pair):
+        a, b, ba, bb = pair
+        assert ba.intersect_count(bb) == int((a & b).sum())
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(MiningError, match="sizes differ"):
+            EWAHBitmap.zeros(10) & EWAHBitmap.zeros(11)
+
+    def test_equality_and_hash(self):
+        a = EWAHBitmap.from_indices([1, 2], 100)
+        b = EWAHBitmap.from_indices([1, 2], 100)
+        c = EWAHBitmap.from_indices([1, 3], 100)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert a != "not a bitmap"
+
+
+# ---------------------------------------------------------------------------
+# Property tests: EWAH ops must agree with NumPy boolean semantics.
+# ---------------------------------------------------------------------------
+
+bool_arrays = st.integers(0, 400).flatmap(
+    lambda n: st.lists(st.booleans(), min_size=n, max_size=n)
+)
+
+
+@given(bool_arrays)
+@settings(max_examples=80, deadline=None)
+def test_round_trip_property(bits):
+    arr = np.array(bits, dtype=bool)
+    bitmap = EWAHBitmap.from_bools(arr)
+    assert bitmap.to_bools().tolist() == bits
+    assert bitmap.count() == int(arr.sum())
+
+
+@given(st.integers(1, 500), st.data())
+@settings(max_examples=80, deadline=None)
+def test_binary_ops_match_numpy(size, data):
+    a = np.array(data.draw(st.lists(st.booleans(), min_size=size,
+                                    max_size=size)), dtype=bool)
+    b = np.array(data.draw(st.lists(st.booleans(), min_size=size,
+                                    max_size=size)), dtype=bool)
+    ba, bb = EWAHBitmap.from_bools(a), EWAHBitmap.from_bools(b)
+    assert (ba & bb).to_bools().tolist() == (a & b).tolist()
+    assert (ba | bb).to_bools().tolist() == (a | b).tolist()
+    assert (ba ^ bb).to_bools().tolist() == (a ^ b).tolist()
+    assert (~ba).to_bools().tolist() == (~a).tolist()
+    assert ba.intersect_count(bb) == int((a & b).sum())
+
+
+@given(bool_arrays)
+@settings(max_examples=60, deadline=None)
+def test_double_negation_is_identity(bits):
+    bitmap = EWAHBitmap.from_bools(np.array(bits, dtype=bool))
+    assert (~~bitmap) == bitmap
+
+
+@given(bool_arrays)
+@settings(max_examples=60, deadline=None)
+def test_de_morgan(bits):
+    arr = np.array(bits, dtype=bool)
+    a = EWAHBitmap.from_bools(arr)
+    b = EWAHBitmap.from_bools(~arr)
+    assert ~(a & b) == (~a | ~b)
+    assert ~(a | b) == (~a & ~b)
+
+
+@given(st.lists(st.integers(0, 4999), max_size=60), st.just(5000))
+@settings(max_examples=60, deadline=None)
+def test_sparse_indices_round_trip(indices, size):
+    unique = sorted(set(indices))
+    bitmap = EWAHBitmap.from_indices(unique, size)
+    assert bitmap.to_indices().tolist() == unique
+    # Sparse bitmaps must actually compress.
+    if len(unique) < 20:
+        assert bitmap.memory_words() < bitmap.n_words or bitmap.n_words < 20
+
+
+@given(bool_arrays)
+@settings(max_examples=60, deadline=None)
+def test_get_matches_array(bits):
+    arr = np.array(bits, dtype=bool)
+    bitmap = EWAHBitmap.from_bools(arr)
+    for i in range(0, len(bits), max(1, len(bits) // 7)):
+        assert bitmap.get(i) == bool(arr[i])

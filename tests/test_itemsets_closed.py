@@ -1,0 +1,121 @@
+"""Tests of closed-itemset utilities against brute-force oracles."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.itemsets.closed import (
+    closure_map,
+    equivalence_classes,
+    filter_closed,
+    filter_maximal,
+    verify_closed,
+)
+from repro.itemsets.eclat import closure_of, mine_eclat
+from repro.itemsets.miner import mine
+
+from tests.oracles import closed_bruteforce, frequent_itemsets_bruteforce
+from tests.test_itemsets_miners import CLASSIC_DB, make_db, random_dbs
+
+
+class TestFilterClosed:
+    def test_hand_example(self):
+        # Rows: {0,1} x3 and {0} x2 -> {1} (sup 3) is absorbed by {0,1}
+        db = make_db([(0, 1), (0, 1), (0, 1), (0,), (0,)])
+        supports = mine_eclat(db, 1)
+        closed = filter_closed(supports)
+        assert frozenset({1}) not in closed
+        assert frozenset({0, 1}) in closed
+        assert frozenset({0}) in closed   # support 5 > 3, so closed
+
+    def test_matches_bruteforce_on_classic(self):
+        db = make_db(CLASSIC_DB)
+        supports = mine_eclat(db, 1)
+        assert filter_closed(supports) == closed_bruteforce(supports)
+
+    def test_closed_preserves_supports(self):
+        db = make_db(CLASSIC_DB)
+        supports = mine_eclat(db, 2)
+        closed = filter_closed(supports)
+        for itemset, support in closed.items():
+            assert supports[itemset] == support
+
+
+class TestFilterMaximal:
+    def test_maximal_subset_of_closed(self):
+        db = make_db(CLASSIC_DB)
+        supports = mine_eclat(db, 2)
+        closed = filter_closed(supports)
+        maximal = filter_maximal(supports)
+        assert set(maximal) <= set(closed)
+
+    def test_no_frequent_strict_superset(self):
+        db = make_db(CLASSIC_DB)
+        supports = mine_eclat(db, 2)
+        maximal = filter_maximal(supports)
+        for itemset in maximal:
+            for other in supports:
+                assert not other > itemset
+
+
+class TestClosureOperator:
+    def test_closure_adds_implied_items(self):
+        # Item 1 always co-occurs with item 0.
+        db = make_db([(0, 1), (0, 1), (0,)])
+        cover = db.cover_of([1])
+        assert closure_of(db, cover) == frozenset({0, 1})
+
+    def test_closure_of_closed_set_is_itself(self):
+        db = make_db(CLASSIC_DB)
+        supports = mine_eclat(db, 1)
+        closed = filter_closed(supports)
+        for itemset in closed:
+            assert closure_of(db, db.cover_of(itemset)) == itemset
+
+    def test_verify_closed_oracle(self):
+        db = make_db(CLASSIC_DB)
+        supports = mine_eclat(db, 1)
+        closed = set(filter_closed(supports))
+        verdicts = verify_closed(db, list(supports))
+        for itemset, is_closed in verdicts.items():
+            assert is_closed == (itemset in closed)
+
+    def test_closure_map_and_classes(self):
+        db = make_db([(0, 1), (0, 1), (0,)])
+        supports = mine_eclat(db, 1)
+        closures = closure_map(db, supports)
+        assert closures[frozenset({1})] == frozenset({0, 1})
+        classes = equivalence_classes(closures)
+        assert frozenset({1}) in classes[frozenset({0, 1})]
+
+
+@given(random_dbs())
+@settings(max_examples=50, deadline=None)
+def test_filter_closed_matches_bruteforce(db_minsup):
+    db, minsup = db_minsup
+    supports = frequent_itemsets_bruteforce(db, minsup)
+    assert filter_closed(dict(supports)) == closed_bruteforce(supports)
+
+
+@given(random_dbs())
+@settings(max_examples=50, deadline=None)
+def test_closure_operator_is_idempotent_and_extensive(db_minsup):
+    db, minsup = db_minsup
+    supports = mine_eclat(db, minsup)
+    for itemset in list(supports)[:20]:
+        cover = db.cover_of(itemset)
+        closure = closure_of(db, cover)
+        assert itemset <= closure                       # extensive
+        assert closure_of(db, db.cover_of(closure)) == closure  # idempotent
+        assert db.support_of(closure) == db.support_of(itemset)  # same cover
+
+
+@given(random_dbs())
+@settings(max_examples=40, deadline=None)
+def test_closed_mine_flag_equals_post_filter(db_minsup):
+    db, minsup = db_minsup
+    from_flag = mine(db, minsup, closed=True).supports
+    post = filter_closed(mine(db, minsup).supports)
+    assert from_flag == post

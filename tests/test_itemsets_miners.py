@@ -1,0 +1,187 @@
+"""Cross-validation of the three miners against brute force and each other."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MiningError
+from repro.itemsets.apriori import mine_apriori
+from repro.itemsets.eclat import mine_eclat
+from repro.itemsets.fpgrowth import mine_fpgrowth
+from repro.itemsets.items import Item, ItemDictionary, ItemKind
+from repro.itemsets.miner import BACKENDS, absolute_minsup, mine
+from repro.itemsets.transactions import TransactionDatabase
+
+from tests.oracles import frequent_itemsets_bruteforce
+
+
+def make_db(rows, n_items=None):
+    """Build a TransactionDatabase from raw integer rows."""
+    size = n_items if n_items is not None else (
+        max((max(r) for r in rows if r), default=-1) + 1
+    )
+    dictionary = ItemDictionary()
+    for i in range(size):
+        dictionary.add(Item("x", i), ItemKind.SA)
+    return TransactionDatabase([tuple(r) for r in rows], dictionary)
+
+
+CLASSIC_DB = [
+    (0, 1, 2),
+    (0, 1),
+    (0, 2),
+    (0,),
+    (1, 2),
+    (1,),
+    (2,),
+    (0, 1, 2),
+]
+
+
+class TestClassicExample:
+    """Support counts verified by hand on an 8-transaction database."""
+
+    @pytest.mark.parametrize("miner", [mine_apriori, mine_eclat, mine_fpgrowth])
+    def test_supports(self, miner):
+        db = make_db(CLASSIC_DB)
+        result = miner(db, 2)
+        assert result[frozenset({0})] == 5
+        assert result[frozenset({1})] == 5
+        assert result[frozenset({2})] == 5
+        assert result[frozenset({0, 1})] == 3
+        assert result[frozenset({0, 2})] == 3
+        assert result[frozenset({1, 2})] == 3
+        assert result[frozenset({0, 1, 2})] == 2
+
+    @pytest.mark.parametrize("miner", [mine_apriori, mine_eclat, mine_fpgrowth])
+    def test_minsup_prunes(self, miner):
+        db = make_db(CLASSIC_DB)
+        result = miner(db, 3)
+        assert frozenset({0, 1, 2}) not in result
+        assert frozenset({0, 1}) in result
+
+    @pytest.mark.parametrize("miner", [mine_apriori, mine_eclat, mine_fpgrowth])
+    def test_max_len(self, miner):
+        db = make_db(CLASSIC_DB)
+        result = miner(db, 1, max_len=1)
+        assert all(len(k) == 1 for k in result)
+
+    @pytest.mark.parametrize("miner", [mine_apriori, mine_eclat, mine_fpgrowth])
+    def test_item_restriction(self, miner):
+        db = make_db(CLASSIC_DB)
+        result = miner(db, 1, items=[0, 1])
+        assert all(k <= frozenset({0, 1}) for k in result)
+
+    @pytest.mark.parametrize("miner", [mine_apriori, mine_eclat, mine_fpgrowth])
+    def test_minsup_validation(self, miner):
+        db = make_db(CLASSIC_DB)
+        with pytest.raises(MiningError):
+            miner(db, 0)
+
+
+class TestEclatCovers:
+    def test_covers_match_supports(self):
+        db = make_db(CLASSIC_DB)
+        covers = mine_eclat(db, 2, with_covers=True)
+        supports = mine_eclat(db, 2)
+        assert set(covers) == set(supports)
+        for itemset, cover in covers.items():
+            assert int(cover.sum()) == supports[itemset]
+
+    def test_cover_contents(self):
+        db = make_db(CLASSIC_DB)
+        covers = mine_eclat(db, 2, with_covers=True)
+        expected = np.zeros(len(CLASSIC_DB), dtype=bool)
+        for t, row in enumerate(CLASSIC_DB):
+            if 0 in row and 1 in row:
+                expected[t] = True
+        assert covers[frozenset({0, 1})].tolist() == expected.tolist()
+
+
+# ---------------------------------------------------------------------------
+# Property: all miners == brute force on random small databases.
+# ---------------------------------------------------------------------------
+
+@st.composite
+def random_dbs(draw):
+    n_items = draw(st.integers(1, 7))
+    n_rows = draw(st.integers(1, 30))
+    rows = [
+        tuple(
+            sorted(
+                {
+                    draw(st.integers(0, n_items - 1))
+                    for _ in range(draw(st.integers(0, n_items)))
+                }
+            )
+        )
+        for _ in range(n_rows)
+    ]
+    minsup = draw(st.integers(1, max(1, n_rows // 2)))
+    return make_db(rows, n_items), minsup
+
+
+@given(random_dbs())
+@settings(max_examples=60, deadline=None)
+def test_all_miners_match_bruteforce(db_minsup):
+    db, minsup = db_minsup
+    expected = frequent_itemsets_bruteforce(db, minsup)
+    assert mine_apriori(db, minsup) == expected
+    assert mine_eclat(db, minsup) == expected
+    assert mine_fpgrowth(db, minsup) == expected
+
+
+@given(random_dbs(), st.integers(1, 3))
+@settings(max_examples=40, deadline=None)
+def test_miners_agree_under_max_len(db_minsup, max_len):
+    db, minsup = db_minsup
+    expected = frequent_itemsets_bruteforce(db, minsup, max_len=max_len)
+    assert mine_apriori(db, minsup, max_len=max_len) == expected
+    assert mine_eclat(db, minsup, max_len=max_len) == expected
+    assert mine_fpgrowth(db, minsup, max_len=max_len) == expected
+
+
+class TestMineFacade:
+    def test_backend_selection(self):
+        db = make_db(CLASSIC_DB)
+        results = [mine(db, 2, backend=b).supports for b in BACKENDS]
+        assert results[0] == results[1] == results[2]
+
+    def test_relative_minsup(self):
+        db = make_db(CLASSIC_DB)
+        result = mine(db, 0.25)         # 25% of 8 rows -> 2
+        assert result.minsup == 2
+
+    def test_unknown_backend(self):
+        db = make_db(CLASSIC_DB)
+        with pytest.raises(MiningError, match="unknown backend"):
+            mine(db, 2, backend="magic")
+
+    def test_with_covers_forces_eclat(self):
+        db = make_db(CLASSIC_DB)
+        result = mine(db, 2, backend="apriori", with_covers=True)
+        assert result.backend == "eclat"
+        assert result.covers is not None
+
+    def test_result_helpers(self):
+        db = make_db(CLASSIC_DB)
+        result = mine(db, 2)
+        assert result.support({0}) == 5
+        assert result.support({0, 1, 2}) == 2
+        assert result.support({5}) == 0
+        assert len(result.itemsets_of_size(2)) == 3
+        assert len(result) == 7
+
+    def test_absolute_minsup_validation(self):
+        assert absolute_minsup(0.5, 10) == 5
+        assert absolute_minsup(0.01, 10) == 1
+        assert absolute_minsup(3, 10) == 3
+        with pytest.raises(MiningError):
+            absolute_minsup(0.0, 10)
+        with pytest.raises(MiningError):
+            absolute_minsup(-1, 10)
+        with pytest.raises(MiningError):
+            absolute_minsup(2.5, 10)

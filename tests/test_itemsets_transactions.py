@@ -1,0 +1,130 @@
+"""Tests of the transaction encoding of finalTable."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MiningError
+from repro.etl.schema import Schema
+from repro.etl.table import Table
+from repro.itemsets.items import Item, ItemKind
+from repro.itemsets.transactions import TransactionDatabase, encode_table
+
+
+@pytest.fixture()
+def final_table():
+    return Table.from_dict(
+        {
+            "gender": ["F", "M", "F"],
+            "sector": [{"a", "b"}, {"a"}, set()],
+            "unitID": [0, 0, 1],
+        }
+    )
+
+
+@pytest.fixture()
+def schema():
+    return Schema.build(
+        segregation=["gender"],
+        context=["sector"],
+        unit="unitID",
+        multi_valued=["sector"],
+    )
+
+
+class TestEncodeTable:
+    def test_items_typed_by_role(self, final_table, schema):
+        db = encode_table(final_table, schema)
+        d = db.dictionary
+        assert d.kind(d.id_of(Item("gender", "F"))) is ItemKind.SA
+        assert d.kind(d.id_of(Item("sector", "a"))) is ItemKind.CA
+
+    def test_multivalued_contributes_one_item_per_member(
+        self, final_table, schema
+    ):
+        db = encode_table(final_table, schema)
+        d = db.dictionary
+        f = d.id_of(Item("gender", "F"))
+        a = d.id_of(Item("sector", "a"))
+        b = d.id_of(Item("sector", "b"))
+        assert set(db.rows[0]) == {f, a, b}
+        # Empty value set contributes nothing beyond the SA item.
+        assert set(db.rows[2]) == {f}
+
+    def test_units_carried_along(self, final_table, schema):
+        db = encode_table(final_table, schema)
+        assert db.units.tolist() == [0, 0, 1]
+        assert db.n_units == 2
+
+    def test_item_supports(self, final_table, schema):
+        db = encode_table(final_table, schema)
+        d = db.dictionary
+        supports = db.item_supports()
+        assert supports[d.id_of(Item("gender", "F"))] == 2
+        assert supports[d.id_of(Item("sector", "a"))] == 2
+        assert supports[d.id_of(Item("sector", "b"))] == 1
+
+
+class TestTransactionDatabase:
+    def test_cover_and_support(self, final_table, schema):
+        db = encode_table(final_table, schema)
+        d = db.dictionary
+        f = d.id_of(Item("gender", "F"))
+        a = d.id_of(Item("sector", "a"))
+        assert db.support_of([f]) == 2
+        assert db.support_of([f, a]) == 1
+        assert db.cover_of([]).all()
+
+    def test_unit_counts_restricted_to_cover(self, final_table, schema):
+        db = encode_table(final_table, schema)
+        d = db.dictionary
+        f = d.id_of(Item("gender", "F"))
+        counts = db.unit_counts(db.cover_of([f]))
+        assert counts.tolist() == [1, 1]
+
+    def test_unit_counts_without_units_raises(self):
+        db = TransactionDatabase([(0,)], _tiny_dictionary())
+        with pytest.raises(MiningError, match="no unit labels"):
+            db.unit_counts(np.array([True]))
+
+    def test_unit_label_length_checked(self):
+        with pytest.raises(MiningError):
+            TransactionDatabase([(0,)], _tiny_dictionary(),
+                                units=np.array([0, 1]))
+
+    def test_negative_units_rejected(self):
+        with pytest.raises(MiningError):
+            TransactionDatabase([(0,)], _tiny_dictionary(),
+                                units=np.array([-1]))
+
+    def test_rows_deduplicate_items(self):
+        db = TransactionDatabase([(0, 0, 0)], _tiny_dictionary())
+        assert db.rows[0] == (0,)
+
+    def test_cover_of_unknown_item(self, final_table, schema):
+        db = encode_table(final_table, schema)
+        with pytest.raises(MiningError):
+            db.cover_of([999])
+
+
+def _tiny_dictionary():
+    from repro.itemsets.items import ItemDictionary
+
+    d = ItemDictionary()
+    d.add(Item("x", "a"), ItemKind.SA)
+    return d
+
+
+class TestSchemaInteraction:
+    def test_unit_column_not_an_item(self, final_table, schema):
+        db = encode_table(final_table, schema)
+        for item_id in range(len(db.dictionary)):
+            assert db.dictionary.item(item_id).attribute != "unitID"
+
+    def test_schema_without_unit_gives_unlabelled_db(self):
+        table = Table.from_dict({"gender": ["F"]})
+        schema = Schema.build(segregation=["gender"])
+        db = encode_table(table, schema)
+        assert db.units is None
+        assert db.n_units == 0

@@ -1,0 +1,59 @@
+"""Tests of the text-table renderers."""
+
+from __future__ import annotations
+
+from repro.report.text import bar, format_value, render_dict_rows, render_table
+
+
+class TestFormatValue:
+    def test_floats_rounded(self):
+        assert format_value(0.123456, digits=3) == "0.123"
+
+    def test_nan_is_dash(self):
+        assert format_value(float("nan")) == "-"
+
+    def test_strings_and_ints_pass_through(self):
+        assert format_value("x") == "x"
+        assert format_value(7) == "7"
+
+
+class TestRenderTable:
+    def test_alignment_and_rule(self):
+        text = render_table(["name", "v"], [["a", 1.5], ["long-name", 0.25]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+        # Columns aligned: 'v' column starts at the same offset everywhere.
+        offset = lines[0].index("v")
+        assert lines[2][offset:offset + 1] != " "
+
+    def test_extra_cells_tolerated(self):
+        text = render_table(["a"], [["x", "extra"]])
+        assert "extra" in text
+
+    def test_nan_rendered_as_dash(self):
+        text = render_table(["v"], [[float("nan")]])
+        assert "-" in text.splitlines()[2]
+
+
+class TestRenderDictRows:
+    def test_header_from_first_row(self):
+        text = render_dict_rows([{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        assert text.splitlines()[0].startswith("a")
+
+    def test_empty(self):
+        assert render_dict_rows([]) == "(no rows)"
+
+
+class TestBar:
+    def test_scales_to_width(self):
+        assert bar(1.0, 1.0, width=10) == "#" * 10
+        assert bar(0.5, 1.0, width=10) == "#" * 5
+
+    def test_clamps(self):
+        assert bar(2.0, 1.0, width=4) == "####"
+        assert bar(-1.0, 1.0, width=4) == ""
+
+    def test_nan_is_empty(self):
+        assert bar(float("nan")) == ""
