@@ -1,0 +1,172 @@
+"""E14 — cover-engine shoot-out: dense boolean vs packed vs EWAH covers.
+
+The cover representation sits under the hottest loop in the system (the
+Eclat DFS intersects a cover and popcounts it at every lattice node), so
+this bench pits the three codecs against each other on the synthetic
+generator at 100k+ rows:
+
+* ``bool``   — dense byte-per-transaction NumPy booleans (the seed
+  implementation, kept as the baseline codec);
+* ``packed`` — ``uint64`` packed bitmaps (the default engine);
+* ``ewah``   — run-length compressed bitmaps (the paper's JavaEWAH
+  choice, pure-Python word streaming).
+
+Assertions pin the refactor's contract: identical mined supports and
+cube cells across codecs, with packed mining at least 2× faster than the
+dense-boolean baseline.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.cube.builder import SegregationDataCubeBuilder
+from repro.cube.cube import check_same_cells
+from repro.data.synthetic import random_final_table
+from repro.itemsets.eclat import mine_eclat
+from repro.itemsets.transactions import encode_table
+from repro.report.text import render_table
+
+from benchmarks.conftest import write_result
+
+MINE_ROWS = 200_000
+MINE_MINSUP = 250
+EWAH_MINE_ROWS = 20_000
+PAIR_SIZE = 200_000
+
+
+def _mining_table(n_rows: int, seed: int = 3):
+    return random_final_table(
+        n_rows=n_rows,
+        n_units=50,
+        sa_attributes={"g": 2, "a": 4, "b": 3},
+        ca_attributes={"r": 5, "s": 4},
+        multi_valued_ca={"mv": 4},
+        seed=seed,
+        skew=0.5,
+    )
+
+
+def _time_mine(db, minsup: int) -> tuple[float, dict]:
+    db.covers()                       # build the vertical layout up front
+    start = time.perf_counter()
+    supports = mine_eclat(db, minsup)
+    return time.perf_counter() - start, supports
+
+
+def test_cover_engine_mining(benchmark):
+    """Full eclat mine at 200k rows: packed must beat bool by >= 2x."""
+    table, schema = _mining_table(MINE_ROWS)
+
+    def run():
+        results = {}
+        for codec in ("bool", "packed"):
+            db = encode_table(table, schema, codec=codec)
+            results[codec] = _time_mine(db, MINE_MINSUP)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    bool_seconds, bool_supports = results["bool"]
+    packed_seconds, packed_supports = results["packed"]
+    assert packed_supports == bool_supports, "codecs must mine identically"
+
+    # EWAH is pure-Python word streaming; compare equality at smaller n.
+    small_table, small_schema = _mining_table(EWAH_MINE_ROWS)
+    small = {
+        codec: _time_mine(encode_table(small_table, small_schema, codec=codec),
+                          MINE_MINSUP // 10)
+        for codec in ("bool", "packed", "ewah")
+    }
+    assert small["ewah"][1] == small["packed"][1] == small["bool"][1]
+
+    speedup = bool_seconds / packed_seconds
+    rows = [
+        ["bool", MINE_ROWS, bool_seconds * 1e3, 1.0, len(bool_supports)],
+        ["packed", MINE_ROWS, packed_seconds * 1e3, speedup,
+         len(packed_supports)],
+        ["bool", EWAH_MINE_ROWS, small["bool"][0] * 1e3,
+         small["bool"][0] / small["bool"][0], len(small["bool"][1])],
+        ["packed", EWAH_MINE_ROWS, small["packed"][0] * 1e3,
+         small["bool"][0] / small["packed"][0], len(small["packed"][1])],
+        ["ewah", EWAH_MINE_ROWS, small["ewah"][0] * 1e3,
+         small["bool"][0] / small["ewah"][0], len(small["ewah"][1])],
+    ]
+    write_result(
+        "E14_cover_engine_mining",
+        "Eclat mining by cover codec (identical supports asserted)\n"
+        + render_table(
+            ["codec", "rows", "mine (ms)", "speedup vs bool", "itemsets"],
+            rows,
+        ),
+    )
+    assert speedup >= 2.0, (
+        f"packed covers only {speedup:.2f}x faster than dense booleans"
+    )
+
+
+def test_cover_engine_intersection(benchmark):
+    """Single cover AND + support across codecs at 200k transactions."""
+    rng = np.random.default_rng(0)
+    from repro.itemsets.coverset import get_codec
+
+    def run():
+        rows = []
+        for density, label in ((0.001, "sparse(0.1%)"), (0.2, "20%"),
+                               (0.5, "dense(50%)")):
+            a = rng.random(PAIR_SIZE) < density
+            b = rng.random(PAIR_SIZE) < density
+            expected = int((a & b).sum())
+            row = [label]
+            for codec in ("bool", "packed", "ewah"):
+                cls = get_codec(codec)
+                ca, cb = cls.from_bools(a), cls.from_bools(b)
+                reps = 20 if codec != "ewah" else 3
+                start = time.perf_counter()
+                for _ in range(reps):
+                    support = (ca & cb).support()
+                seconds = (time.perf_counter() - start) / reps
+                assert support == expected
+                row.append(seconds * 1e6)
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(
+        "E14_cover_engine_intersection",
+        f"AND + popcount per pair ({PAIR_SIZE} transactions)\n"
+        + render_table(
+            ["cover", "bool (us)", "packed (us)", "ewah (us)"], rows
+        ),
+    )
+    for row in rows:
+        assert row[2] < row[1], f"packed slower than bool on {row[0]}"
+
+
+def test_cover_engine_cube_cells():
+    """Cube cells are identical across all three codecs (both modes)."""
+    table, schema = random_final_table(
+        n_rows=4_000, n_units=12,
+        sa_attributes={"g": 2, "a": 3},
+        ca_attributes={"r": 3},
+        multi_valued_ca={"mv": 3},
+        seed=11, skew=0.5,
+    )
+    limits = {"min_population": 20, "min_minority": 5,
+              "max_sa_items": 2, "max_ca_items": 2}
+    cubes = {
+        codec: SegregationDataCubeBuilder(codec=codec, **limits).build(
+            table, schema
+        )
+        for codec in ("bool", "packed", "ewah")
+    }
+    assert check_same_cells(cubes["bool"], cubes["packed"]) == []
+    assert check_same_cells(cubes["bool"], cubes["ewah"]) == []
+    closed = SegregationDataCubeBuilder(
+        codec="packed", mode="closed", **limits
+    ).build(table, schema)
+    for key in cubes["bool"].keys():
+        cell = closed.cell_by_key(key)
+        assert cell is not None
+        assert cell.population == cubes["bool"].cell_by_key(key).population

@@ -18,6 +18,12 @@ companion's SegregationDataCubeBuilder): because segregation indexes are
    per-unit counts of ``cover(X)``; every requested segregation index is
    evaluated on those vectors.
 
+Covers are :class:`~repro.itemsets.coverset.Cover` objects (packed
+``uint64`` bitmaps by default; ``codec`` selects the representation),
+and per-unit splitting runs on the database's precomputed unit→rows
+grouping — the builder never touches dense per-transaction boolean
+arrays.
+
 In ``closed`` mode only closed coordinates are materialised (non-closed
 itemsets select exactly the same minority as their closure); the cube
 carries a resolver that answers any other point query exactly from the
@@ -40,6 +46,7 @@ from repro.etl.table import Table
 from repro.indexes.base import IndexSpec, resolve_indexes
 from repro.indexes.counts import UnitCounts
 from repro.itemsets.closed import filter_closed
+from repro.itemsets.coverset import Cover
 from repro.itemsets.eclat import mine_eclat, mine_eclat_typed
 from repro.itemsets.miner import absolute_minsup
 from repro.itemsets.transactions import TransactionDatabase, encode_table
@@ -68,6 +75,10 @@ class SegregationDataCubeBuilder:
     backend:
         Mining backend for the support-only passes (``eclat`` /
         ``fpgrowth`` / ``apriori``); covers always come from eclat.
+    codec:
+        Cover representation used when encoding the table
+        (``packed`` / ``bool`` / ``ewah``); results are identical
+        across codecs.
     """
 
     def __init__(
@@ -79,6 +90,7 @@ class SegregationDataCubeBuilder:
         max_ca_items: "int | None" = None,
         mode: str = "all",
         backend: str = "eclat",
+        codec: str = "packed",
     ):
         if mode not in ("all", "closed"):
             raise CubeError(f"mode must be 'all' or 'closed', got {mode!r}")
@@ -89,6 +101,7 @@ class SegregationDataCubeBuilder:
         self.max_ca_items = max_ca_items
         self.mode = mode
         self.backend = backend
+        self.codec = codec
 
     # ------------------------------------------------------------------
 
@@ -97,7 +110,7 @@ class SegregationDataCubeBuilder:
         if not schema.sa_names:
             raise CubeError("schema declares no segregation attributes")
         schema.unit_name  # raises SchemaError when missing
-        db = encode_table(table, schema)
+        db = encode_table(table, schema, codec=self.codec)
         if len(db) == 0:
             raise CubeError("finalTable is empty")
         return self.build_from_transactions(db)
@@ -119,7 +132,7 @@ class SegregationDataCubeBuilder:
             max_len=self.max_ca_items,
             with_covers=True,
         )
-        context_covers[frozenset()] = np.ones(len(db), dtype=bool)
+        context_covers[frozenset()] = db.full_cover()
         context_tvecs = {
             b: db.unit_counts(cover) for b, cover in context_covers.items()
         }
@@ -140,7 +153,7 @@ class SegregationDataCubeBuilder:
             max_ca=self.max_ca_items,
         )
         if self.mode == "closed":
-            supports = {k: int(v.sum()) for k, v in mixed_covers.items()}
+            supports = {k: v.support() for k, v in mixed_covers.items()}
             closed = filter_closed(supports)
             kept = {k: v for k, v in mixed_covers.items() if k in closed}
             kept[frozenset()] = mixed_covers[frozenset()]
@@ -185,7 +198,7 @@ class SegregationDataCubeBuilder:
     def _make_cell(
         self,
         key: CellKey,
-        minority_cover: np.ndarray,
+        minority_cover: Cover,
         context_tvec: np.ndarray,
         db: TransactionDatabase,
         minsup_pop: int,
@@ -263,6 +276,7 @@ def build_cube(
     max_sa_items: "int | None" = None,
     max_ca_items: "int | None" = None,
     mode: str = "all",
+    codec: str = "packed",
 ) -> SegregationCube:
     """One-call convenience wrapper around the builder."""
     builder = SegregationDataCubeBuilder(
@@ -272,5 +286,6 @@ def build_cube(
         max_sa_items=max_sa_items,
         max_ca_items=max_ca_items,
         mode=mode,
+        codec=codec,
     )
     return builder.build(table, schema)

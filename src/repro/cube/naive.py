@@ -13,8 +13,6 @@ from __future__ import annotations
 import time
 from itertools import combinations
 
-import numpy as np
-
 from repro.cube.builder import SegregationDataCubeBuilder
 from repro.cube.cell import CellStats
 from repro.cube.coordinates import CellKey
@@ -79,7 +77,7 @@ class NaiveCubeBuilder:
         max_sa = inner.max_sa_items if inner.max_sa_items is not None else len(sa_ids)
         max_ca = inner.max_ca_items if inner.max_ca_items is not None else len(ca_ids)
         covers = db.covers()
-        full = np.ones(len(db), dtype=bool)
+        full = db.full_cover()
 
         cells: dict[CellKey, CellStats] = {}
         n_candidates = 0

@@ -70,9 +70,15 @@ class UnitCounts:
 
         ``units[k]`` is the unit id of individual ``k`` and
         ``is_minority[k]`` tells whether she belongs to the minority.
+        ``is_minority`` may also be a mining cover (any
+        :mod:`repro.itemsets.coverset` codec): anything exposing
+        ``to_bools()`` is materialised into flags first.
         """
         u = np.asarray(units, dtype=np.int64)
-        flags = np.asarray(is_minority, dtype=bool)
+        if hasattr(is_minority, "to_bools"):
+            flags = np.asarray(is_minority.to_bools(), dtype=bool)
+        else:
+            flags = np.asarray(is_minority, dtype=bool)
         if len(u) != len(flags):
             raise SegregationIndexError("units and is_minority differ in length")
         if len(u) and u.min() < 0:

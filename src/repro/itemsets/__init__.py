@@ -3,7 +3,8 @@
 Reimplements, in pure Python/NumPy, the mining stack the original SCube
 borrows from external libraries: FP-growth (Borgelt), a vertical Eclat
 miner with covers, a level-wise Apriori baseline, closed-itemset
-filtering, and EWAH-style compressed bitmaps (JavaEWAH).
+filtering, and pluggable cover codecs — packed ``uint64`` bitmaps
+(default), dense booleans, and EWAH-style compressed bitmaps (JavaEWAH).
 """
 
 from repro.itemsets.apriori import mine_apriori
@@ -14,6 +15,13 @@ from repro.itemsets.closed import (
     filter_closed,
     filter_maximal,
     verify_closed,
+)
+from repro.itemsets.coverset import (
+    COVER_CODECS,
+    Cover,
+    CoverSet,
+    DenseCover,
+    get_codec,
 )
 from repro.itemsets.eclat import closure_of, mine_eclat
 from repro.itemsets.fpgrowth import FPTree, mine_fpgrowth
@@ -28,8 +36,13 @@ from repro.itemsets.transactions import TransactionDatabase, encode_table
 
 __all__ = [
     "BACKENDS",
+    "COVER_CODECS",
+    "Cover",
+    "CoverSet",
+    "DenseCover",
     "EWAHBitmap",
     "FPTree",
+    "get_codec",
     "Item",
     "ItemDictionary",
     "ItemKind",

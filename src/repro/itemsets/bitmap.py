@@ -1,4 +1,4 @@
-"""EWAH-style word-aligned compressed bitmaps.
+"""EWAH-style word-aligned compressed bitmaps: the ``"ewah"`` cover codec.
 
 The original SCube uses JavaEWAH compressed bitmaps for item covers
 (paper footnote 6).  This module reimplements the scheme in pure Python:
@@ -7,11 +7,16 @@ a bitmap is a sequence of *segments*, each a run-length word (a run of
 list of literal 64-bit words.  Sparse or clustered covers compress to a
 handful of words; logical operations stream over words.
 
-The NumPy dense-boolean representation remains the fast path of the
-miner; :class:`EWAHBitmap` exists to reproduce the paper's engineering
-choice and is benchmarked against the dense layout in E13.  Bits past
-``size`` are kept at zero by every constructor and operation, so
-:meth:`count` never over-counts.
+:class:`EWAHBitmap` implements the :class:`~repro.itemsets.coverset.Cover`
+interface, so the whole pipeline — miners, closure operator, cube
+builders — runs unchanged on compressed covers via
+``TransactionDatabase(..., codec="ewah")``.  The packed-word
+:class:`~repro.itemsets.coverset.CoverSet` remains the default fast
+path; EWAH reproduces the paper's engineering choice and trades
+throughput (pure-Python word streaming) for compressed storage, a
+trade-off quantified in benchmarks E13 and ``bench_cover_engine``.
+Bits past ``size`` are kept at zero by every constructor and operation,
+so :meth:`count` never over-counts.
 """
 
 from __future__ import annotations
@@ -21,12 +26,13 @@ from collections.abc import Iterable, Iterator
 import numpy as np
 
 from repro.errors import MiningError
+from repro.itemsets.coverset import Cover
 
 WORD_BITS = 64
 FULL_WORD = (1 << WORD_BITS) - 1
 
 
-class EWAHBitmap:
+class EWAHBitmap(Cover):
     """A compressed bitmap over ``size`` bits."""
 
     __slots__ = ("size", "_segments")
@@ -57,16 +63,7 @@ class EWAHBitmap:
             bitmap._append_word(int(w))
         return bitmap
 
-    @classmethod
-    def from_indices(cls, indices: Iterable[int], size: int) -> "EWAHBitmap":
-        """Build from set-bit positions."""
-        arr = np.zeros(size, dtype=bool)
-        idx = np.asarray(list(indices), dtype=np.int64)
-        if len(idx):
-            if idx.min() < 0 or idx.max() >= size:
-                raise MiningError("bit index out of range")
-            arr[idx] = True
-        return cls.from_bools(arr)
+    # from_indices is inherited from Cover (bool-array build + bounds check).
 
     @classmethod
     def zeros(cls, size: int) -> "EWAHBitmap":
@@ -140,6 +137,10 @@ class EWAHBitmap:
             for word in literals:
                 total += word.bit_count()
         return total
+
+    def support(self) -> int:
+        """:class:`~repro.itemsets.coverset.Cover` interface: popcount."""
+        return self.count()
 
     def get(self, index: int) -> bool:
         """Value of bit ``index``."""

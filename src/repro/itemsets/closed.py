@@ -18,6 +18,7 @@ from collections import defaultdict
 
 import numpy as np
 
+from repro.itemsets.coverset import Cover
 from repro.itemsets.eclat import closure_of
 from repro.itemsets.transactions import TransactionDatabase
 
@@ -90,6 +91,8 @@ def equivalence_classes(
     return dict(classes)
 
 
-def support_of_cover(cover: np.ndarray) -> int:
-    """Support of a boolean cover array."""
+def support_of_cover(cover: "Cover | np.ndarray") -> int:
+    """Support of a cover (any codec, or a dense boolean array)."""
+    if isinstance(cover, Cover):
+        return cover.support()
     return int(np.asarray(cover, dtype=bool).sum())

@@ -1,18 +1,19 @@
 """Eclat: vertical (cover-based) frequent-itemset mining.
 
 This is the default mining backend of the cube builder: its depth-first
-search carries the *cover* (boolean transaction mask) of every itemset,
-which the SegregationDataCubeBuilder needs anyway to split supports into
-per-unit counts.  Covers are NumPy boolean arrays; the EWAH-compressed
-variant lives in :mod:`repro.itemsets.bitmap` and is benchmarked
-separately.
+search carries the *cover* (transaction mask) of every itemset, which the
+SegregationDataCubeBuilder needs anyway to split supports into per-unit
+counts.  Covers are :class:`~repro.itemsets.coverset.Cover` objects —
+packed ``uint64`` bitmaps by default, so intersection is a word-wise AND
+and support a vectorized popcount; the dense-boolean and EWAH-compressed
+codecs run through the identical code path (the DFS only needs ``&`` and
+``support()``).
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.errors import MiningError
+from repro.itemsets.coverset import Cover
 from repro.itemsets.transactions import TransactionDatabase
 
 Itemset = frozenset[int]
@@ -24,7 +25,7 @@ def mine_eclat(
     items: "list[int] | None" = None,
     max_len: "int | None" = None,
     with_covers: bool = False,
-) -> "dict[Itemset, int] | dict[Itemset, np.ndarray]":
+) -> "dict[Itemset, int] | dict[Itemset, Cover]":
     """Mine all frequent itemsets (support >= ``minsup``), depth-first.
 
     Parameters
@@ -34,50 +35,51 @@ def mine_eclat(
     max_len:
         Maximum itemset length.
     with_covers:
-        When True the result maps itemsets to their boolean covers
-        (support = ``cover.sum()``); otherwise to integer supports.
+        When True the result maps itemsets to their covers
+        (support = ``cover.support()``); otherwise to integer supports.
 
     Notes
     -----
     Items are ordered by ascending support before the DFS — the classic
-    heuristic that keeps conditional covers small near the root.
+    heuristic that keeps conditional covers small near the root.  Each
+    item's support is computed exactly once and reused for both the
+    frequency filter and the ordering.
     """
     if minsup < 1:
         raise MiningError(f"minsup must be >= 1, got {minsup}")
     covers = db.covers()
     candidate_ids = list(items) if items is not None else list(range(db.n_items))
     frequent = [
-        (i, covers[i]) for i in candidate_ids if int(covers[i].sum()) >= minsup
+        (i, covers[i], support)
+        for i, support in ((i, covers[i].support()) for i in candidate_ids)
+        if support >= minsup
     ]
-    frequent.sort(key=lambda pair: int(pair[1].sum()))
+    frequent.sort(key=lambda triple: triple[2])
 
-    out_covers: dict[Itemset, np.ndarray] = {}
+    out_covers: dict[Itemset, Cover] = {}
     out_supports: dict[Itemset, int] = {}
 
-    def record(itemset: tuple[int, ...], cover: np.ndarray, support: int) -> None:
+    def record(itemset: tuple[int, ...], cover: Cover, support: int) -> None:
         key = frozenset(itemset)
         if with_covers:
             out_covers[key] = cover
         else:
             out_supports[key] = support
 
-    def dfs(prefix: tuple[int, ...], prefix_cover: np.ndarray,
-            tail: list[tuple[int, np.ndarray]]) -> None:
+    def dfs(prefix: tuple[int, ...], prefix_cover: Cover,
+            tail: "list[tuple[int, Cover, int]]") -> None:
         if max_len is not None and len(prefix) >= max_len:
             return
-        for pos, (item, item_cover) in enumerate(tail):
+        for pos, (item, item_cover, _) in enumerate(tail):
             cover = prefix_cover & item_cover
-            support = int(cover.sum())
+            support = cover.support()
             if support < minsup:
                 continue
             itemset = prefix + (item,)
             record(itemset, cover, support)
             dfs(itemset, cover, tail[pos + 1:])
 
-    n = len(db)
-    root_cover = np.ones(n, dtype=bool)
-    for pos, (item, item_cover) in enumerate(frequent):
-        support = int(item_cover.sum())
+    for pos, (item, item_cover, support) in enumerate(frequent):
         record((item,), item_cover, support)
         dfs((item,), item_cover, frequent[pos + 1:])
     return out_covers if with_covers else out_supports
@@ -90,7 +92,7 @@ def mine_eclat_typed(
     ca_ids: "list[int]",
     max_sa: "int | None" = None,
     max_ca: "int | None" = None,
-) -> "dict[Itemset, np.ndarray]":
+) -> "dict[Itemset, Cover]":
     """Eclat DFS constrained by per-kind item caps (the cube's lattice).
 
     Cube coordinates are typed: a cell has at most ``max_sa`` SA items
@@ -113,15 +115,15 @@ def mine_eclat_typed(
         return (1, 0) if item in sa_set else (0, 1)
 
     frequent = [
-        (i, covers[i])
-        for i in list(sa_ids) + list(ca_ids)
-        if int(covers[i].sum()) >= minsup
+        (i, covers[i], support)
+        for i, support in (
+            (i, covers[i].support()) for i in list(sa_ids) + list(ca_ids)
+        )
+        if support >= minsup
     ]
-    frequent.sort(key=lambda pair: int(pair[1].sum()))
+    frequent.sort(key=lambda triple: triple[2])
 
-    out: dict[Itemset, np.ndarray] = {
-        frozenset(): np.ones(len(db), dtype=bool)
-    }
+    out: dict[Itemset, Cover] = {frozenset(): db.full_cover()}
 
     def fits(n_sa: int, n_ca: int) -> bool:
         if max_sa is not None and n_sa > max_sa:
@@ -130,40 +132,41 @@ def mine_eclat_typed(
             return False
         return True
 
-    def dfs(prefix: tuple[int, ...], prefix_cover: np.ndarray,
+    def dfs(prefix: tuple[int, ...], prefix_cover: Cover,
             n_sa: int, n_ca: int,
-            tail: list[tuple[int, np.ndarray]]) -> None:
-        for pos, (item, item_cover) in enumerate(tail):
+            tail: "list[tuple[int, Cover, int]]") -> None:
+        for pos, (item, item_cover, _) in enumerate(tail):
             d_sa, d_ca = kind_cost(item)
             if not fits(n_sa + d_sa, n_ca + d_ca):
                 continue
             cover = prefix_cover & item_cover
-            if int(cover.sum()) < minsup:
+            if cover.support() < minsup:
                 continue
             itemset = prefix + (item,)
             out[frozenset(itemset)] = cover
             dfs(itemset, cover, n_sa + d_sa, n_ca + d_ca, tail[pos + 1:])
 
-    root = np.ones(len(db), dtype=bool)
-    dfs((), root, 0, 0, frequent)
+    dfs((), db.full_cover(), 0, 0, frequent)
     return out
 
 
 def closure_of(
     db: TransactionDatabase,
-    cover: np.ndarray,
+    cover: "Cover",
     candidate_items: "list[int] | None" = None,
 ) -> Itemset:
     """The closure of a cover: all items present in *every* covered row.
 
     For an itemset X with cover c, ``closure_of(db, c)`` is the unique
     maximal itemset with the same cover — the canonical representative the
-    closed-itemset cube stores.
+    closed-itemset cube stores.  ``cover`` may also be a dense boolean
+    array; it is coerced into the database's codec.
     """
     covers = db.covers()
-    support = int(cover.sum())
+    cover = db.as_cover(cover)
+    support = cover.support()
     ids = candidate_items if candidate_items is not None else range(db.n_items)
     closed = [
-        i for i in ids if int((cover & covers[i]).sum()) == support
+        i for i in ids if (cover & covers[i]).support() == support
     ]
     return frozenset(closed)

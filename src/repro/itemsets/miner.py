@@ -14,11 +14,10 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.errors import MiningError
 from repro.itemsets.apriori import mine_apriori
 from repro.itemsets.closed import filter_closed
+from repro.itemsets.coverset import Cover
 from repro.itemsets.eclat import mine_eclat
 from repro.itemsets.fpgrowth import mine_fpgrowth
 from repro.itemsets.transactions import TransactionDatabase
@@ -38,6 +37,12 @@ def absolute_minsup(minsup: "int | float", n_transactions: int) -> int:
         return max(1, math.ceil(minsup * n_transactions))
     if minsup >= 1 and float(minsup).is_integer():
         return int(minsup)
+    if isinstance(minsup, float) and minsup >= 1:
+        raise MiningError(
+            f"minsup {minsup} is a non-integer float >= 1: absolute "
+            "thresholds must be whole counts (e.g. 2, not 2.5) and "
+            "relative thresholds must be fractions in (0,1)"
+        )
     raise MiningError(
         f"minsup must be a fraction in (0,1) or an integer >= 1, got {minsup}"
     )
@@ -51,7 +56,7 @@ class MiningResult:
     minsup: int
     backend: str
     closed_only: bool
-    covers: "dict[Itemset, np.ndarray] | None" = field(default=None, repr=False)
+    covers: "dict[Itemset, Cover] | None" = field(default=None, repr=False)
 
     def __len__(self) -> int:
         return len(self.supports)
@@ -85,8 +90,8 @@ def mine(
     closed:
         Keep only closed itemsets.
     with_covers:
-        Also return boolean covers (forces the ``eclat`` backend, the
-        only cover-producing one).
+        Also return covers (forces the ``eclat`` backend, the only
+        cover-producing one).
     """
     if backend not in BACKENDS:
         raise MiningError(f"unknown backend {backend!r}; choose from {BACKENDS}")
@@ -98,7 +103,7 @@ def mine(
     if with_covers:
         covers = mine_eclat(db, threshold, items=items, max_len=mine_len,
                             with_covers=True)
-        supports = {k: int(v.sum()) for k, v in covers.items()}
+        supports = {k: v.support() for k, v in covers.items()}
         backend = "eclat"
     elif backend == "eclat":
         supports = mine_eclat(db, threshold, items=items, max_len=mine_len)

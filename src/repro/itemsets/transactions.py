@@ -6,17 +6,27 @@ whose items are the ``attribute=value`` pairs of its SA and CA columns;
 multi-valued attributes contribute one item per member "for free".
 The unit id is *not* an item — it rides along as a per-transaction label
 so the builder can split any cover into per-unit counts.
+
+Storage is columnar throughout: transactions live in a CSR-style pair of
+arrays (``indptr`` offsets into a flat, per-row-sorted ``indices`` item
+array), and the vertical layout — one cover per item — is served as
+packed-bitmap :class:`~repro.itemsets.coverset.CoverSet` objects (or the
+``"bool"`` / ``"ewah"`` codecs) rather than dense byte-per-transaction
+boolean arrays.  Encoding, per-item supports and per-unit splitting are
+all vectorized; no per-row Python loop touches the hot path.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
+from itertools import chain
 
 import numpy as np
 
 from repro.errors import MiningError
 from repro.etl.schema import Role, Schema
 from repro.etl.table import CategoricalColumn, MultiValuedColumn, Table
+from repro.itemsets.coverset import Cover, as_cover, get_codec
 from repro.itemsets.items import Item, ItemDictionary, ItemKind
 
 
@@ -26,11 +36,16 @@ class TransactionDatabase:
     Attributes
     ----------
     rows:
-        One sorted tuple of item ids per transaction.
+        One sorted tuple of item ids per transaction (materialised lazily
+        from the CSR arrays; the horizontal view used by FP-growth and
+        Apriori).
     dictionary:
         The :class:`~repro.itemsets.items.ItemDictionary` describing ids.
     units:
         Optional ``int64`` array with the unit id of each transaction.
+    codec:
+        Cover representation: ``"packed"`` (default), ``"bool"`` or
+        ``"ewah"`` — see :mod:`repro.itemsets.coverset`.
     """
 
     def __init__(
@@ -38,22 +53,101 @@ class TransactionDatabase:
         rows: Sequence[tuple[int, ...]],
         dictionary: ItemDictionary,
         units: np.ndarray | None = None,
+        codec: str = "packed",
     ):
-        self.rows: list[tuple[int, ...]] = [tuple(sorted(set(r))) for r in rows]
+        normalized = [tuple(sorted(set(r))) for r in rows]
+        lengths = np.fromiter(
+            (len(r) for r in normalized), dtype=np.int64, count=len(normalized)
+        )
+        indptr = np.zeros(len(normalized) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+        indices = np.fromiter(
+            chain.from_iterable(normalized), dtype=np.int64,
+            count=int(indptr[-1]),
+        )
+        self._init(indptr, indices, dictionary, units, codec)
+        self._rows = normalized
+
+    @classmethod
+    def from_item_arrays(
+        cls,
+        row_ids: np.ndarray,
+        item_ids: np.ndarray,
+        n_rows: int,
+        dictionary: ItemDictionary,
+        units: np.ndarray | None = None,
+        codec: str = "packed",
+    ) -> "TransactionDatabase":
+        """Build from flat ``(row, item)`` pair arrays (vectorized path).
+
+        Pairs may arrive unsorted and with duplicates; they are sorted by
+        ``(row, item)`` and deduplicated here, so encoders can simply
+        concatenate per-column contributions.
+        """
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        if len(row_ids) != len(item_ids):
+            raise MiningError(
+                f"{len(row_ids)} row ids for {len(item_ids)} item ids"
+            )
+        if len(row_ids):
+            if row_ids.min() < 0 or row_ids.max() >= n_rows:
+                raise MiningError("transaction row id out of range")
+            if item_ids.min() < 0 or item_ids.max() >= len(dictionary):
+                raise MiningError("item id out of range for dictionary")
+        order = np.lexsort((item_ids, row_ids))
+        r, it = row_ids[order], item_ids[order]
+        if len(r):
+            keep = np.ones(len(r), dtype=bool)
+            keep[1:] = (r[1:] != r[:-1]) | (it[1:] != it[:-1])
+            r, it = r[keep], it[keep]
+        indptr = np.zeros(n_rows + 1, dtype=np.int64)
+        np.cumsum(np.bincount(r, minlength=n_rows), out=indptr[1:])
+        db = cls.__new__(cls)
+        db._init(indptr, it, dictionary, units, codec)
+        db._rows = None
+        return db
+
+    def _init(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        dictionary: ItemDictionary,
+        units: np.ndarray | None,
+        codec: str,
+    ) -> None:
+        get_codec(codec)  # validate the name eagerly
+        self._indptr = indptr
+        self._indices = indices
         self.dictionary = dictionary
+        self.codec = codec
         if units is not None:
             units = np.asarray(units, dtype=np.int64)
-            if len(units) != len(self.rows):
+            if len(units) != len(indptr) - 1:
                 raise MiningError(
-                    f"{len(units)} unit labels for {len(self.rows)} transactions"
+                    f"{len(units)} unit labels for {len(indptr) - 1} "
+                    "transactions"
                 )
             if len(units) and units.min() < 0:
                 raise MiningError("unit ids must be non-negative")
         self.units = units
-        self._covers: dict[int, np.ndarray] | None = None
+        self._covers: dict[int, Cover] | None = None
+        self._unit_order: np.ndarray | None = None
+        self._unit_indptr: np.ndarray | None = None
+
+    @property
+    def rows(self) -> "list[tuple[int, ...]]":
+        """Horizontal view: one sorted item-id tuple per transaction."""
+        if self._rows is None:
+            indptr, indices = self._indptr, self._indices
+            self._rows = [
+                tuple(indices[indptr[t]:indptr[t + 1]].tolist())
+                for t in range(len(self))
+            ]
+        return self._rows
 
     def __len__(self) -> int:
-        return len(self.rows)
+        return len(self._indptr) - 1
 
     @property
     def n_items(self) -> int:
@@ -67,58 +161,119 @@ class TransactionDatabase:
         return int(self.units.max()) + 1
 
     def item_supports(self) -> np.ndarray:
-        """Support (transaction count) of every single item."""
-        supports = np.zeros(self.n_items, dtype=np.int64)
-        for row in self.rows:
-            for i in row:
-                supports[i] += 1
-        return supports
+        """Support (transaction count) of every single item, vectorized."""
+        return np.bincount(self._indices, minlength=self.n_items)
 
-    def covers(self) -> dict[int, np.ndarray]:
-        """Vertical layout: boolean cover array per item id (cached)."""
+    def covers(self) -> "dict[int, Cover]":
+        """Vertical layout: one :class:`Cover` per item id (cached).
+
+        Built in one vectorized pass: the CSR item array is argsorted by
+        item, handing every item its covered-row list, which the active
+        codec packs into its cover representation.
+        """
         if self._covers is None:
-            n = len(self.rows)
-            covers = {i: np.zeros(n, dtype=bool) for i in range(self.n_items)}
-            for t, row in enumerate(self.rows):
-                for i in row:
-                    covers[i][t] = True
-            self._covers = covers
+            codec = get_codec(self.codec)
+            n = len(self)
+            order = np.argsort(self._indices, kind="stable")
+            row_of = np.repeat(
+                np.arange(n, dtype=np.int64), np.diff(self._indptr)
+            )
+            sorted_rows = row_of[order]
+            sorted_items = self._indices[order]
+            bounds = np.searchsorted(
+                sorted_items, np.arange(self.n_items + 1)
+            )
+            self._covers = {
+                i: codec.from_indices(sorted_rows[bounds[i]:bounds[i + 1]], n)
+                for i in range(self.n_items)
+            }
         return self._covers
 
-    def cover_of(self, itemset: Iterable[int]) -> np.ndarray:
-        """Boolean cover of an itemset (AND of its item covers)."""
+    def full_cover(self) -> Cover:
+        """The all-true cover (the empty itemset's cover)."""
+        return get_codec(self.codec).ones(len(self))
+
+    def as_cover(self, value: "Cover | np.ndarray") -> Cover:
+        """Coerce a boolean array into this database's cover codec."""
+        return as_cover(value, self.codec)
+
+    def cover_of(self, itemset: Iterable[int]) -> Cover:
+        """Cover of an itemset (word-wise AND of its item covers)."""
         covers = self.covers()
-        result: np.ndarray | None = None
+        result: Cover | None = None
         for i in itemset:
             if i not in covers:
                 raise MiningError(f"item id {i} out of range")
             result = covers[i] if result is None else result & covers[i]
         if result is None:
-            return np.ones(len(self.rows), dtype=bool)
+            return self.full_cover()
         return result
 
     def support_of(self, itemset: Iterable[int]) -> int:
         """Absolute support of an itemset."""
-        return int(self.cover_of(itemset).sum())
+        return self.cover_of(itemset).support()
 
-    def unit_counts(self, cover: np.ndarray) -> np.ndarray:
-        """Per-unit transaction counts restricted to ``cover``."""
+    def _unit_grouping(self) -> tuple[np.ndarray, np.ndarray]:
+        """Precomputed unit→rows grouping: permutation + group offsets."""
+        if self._unit_order is None:
+            self._unit_order = np.argsort(self.units, kind="stable")
+            sizes = np.bincount(self.units, minlength=self.n_units)
+            indptr = np.zeros(self.n_units + 1, dtype=np.int64)
+            np.cumsum(sizes, out=indptr[1:])
+            self._unit_indptr = indptr
+        return self._unit_order, self._unit_indptr
+
+    def unit_counts(self, cover: "Cover | np.ndarray") -> np.ndarray:
+        """Per-unit transaction counts restricted to ``cover``.
+
+        Uses the cached unit→rows grouping: the cover's flags are
+        permuted into unit order once and summed per contiguous group
+        (``np.add.reduceat``), instead of fancy-indexing the unit array
+        by the cover on every call.
+        """
         if self.units is None:
             raise MiningError("transaction database has no unit labels")
-        return np.bincount(self.units[cover], minlength=self.n_units)
+        flags = (
+            cover.to_bools() if isinstance(cover, Cover)
+            else np.asarray(cover, dtype=bool)
+        )
+        if len(flags) != len(self):
+            raise MiningError(
+                f"cover of {len(flags)} transactions does not match "
+                f"database of {len(self)}"
+            )
+        order, indptr = self._unit_grouping()
+        counts = np.zeros(self.n_units, dtype=np.int64)
+        starts = indptr[:-1]
+        nonempty = indptr[1:] > starts
+        if nonempty.any():
+            grouped = flags[order].astype(np.int64)
+            # Empty units occupy zero width between consecutive nonempty
+            # starts, so reducing over nonempty starts alone is exact.
+            counts[nonempty] = np.add.reduceat(grouped, starts[nonempty])
+        return counts
 
 
-def encode_table(table: Table, schema: Schema) -> TransactionDatabase:
+def encode_table(
+    table: Table, schema: Schema, codec: str = "packed"
+) -> TransactionDatabase:
     """Encode a ``finalTable`` into a :class:`TransactionDatabase`.
 
     Each SA/CA column contributes items of the matching kind; the schema's
     unit column becomes the per-transaction unit label.  Rows keep their
     order, so covers index directly into the original table.
+
+    Encoding is vectorized: each categorical column is translated in one
+    shot by indexing a category→item-id array with its code array, and
+    multi-valued columns flatten their code tuples once; no intermediate
+    per-row item lists are built.
     """
     schema.validate(table)
     dictionary = ItemDictionary()
     n = len(table)
-    row_items: list[list[int]] = [[] for _ in range(n)]
+    all_rows = np.arange(n, dtype=np.int64)
+    row_parts: list[np.ndarray] = []
+    item_parts: list[np.ndarray] = []
     for spec in schema.specs:
         if spec.role is Role.SEGREGATION:
             kind = ItemKind.SA
@@ -128,27 +283,42 @@ def encode_table(table: Table, schema: Schema) -> TransactionDatabase:
             continue
         col = table.column(spec.name)
         if isinstance(col, CategoricalColumn):
-            ids = [
-                dictionary.add(Item(spec.name, value), kind)
-                for value in col.categories
-            ]
-            for t in range(n):
-                row_items[t].append(ids[col.codes[t]])
+            ids = np.array(
+                [dictionary.add(Item(spec.name, value), kind)
+                 for value in col.categories],
+                dtype=np.int64,
+            )
+            row_parts.append(all_rows)
+            item_parts.append(ids[col.codes])
         elif isinstance(col, MultiValuedColumn):
-            ids = [
-                dictionary.add(Item(spec.name, value), kind)
-                for value in col.categories
-            ]
-            for t in range(n):
-                row_items[t].extend(ids[c] for c in col.rows[t])
+            ids = np.array(
+                [dictionary.add(Item(spec.name, value), kind)
+                 for value in col.categories],
+                dtype=np.int64,
+            )
+            lengths = np.fromiter(
+                (len(r) for r in col.rows), dtype=np.int64, count=n
+            )
+            flat = np.fromiter(
+                chain.from_iterable(col.rows), dtype=np.int64,
+                count=int(lengths.sum()),
+            )
+            row_parts.append(np.repeat(all_rows, lengths))
+            item_parts.append(ids[flat])
         else:
             raise MiningError(
                 f"cannot encode column {spec.name!r} of kind {col.kind}"
             )
+    if row_parts:
+        row_ids = np.concatenate(row_parts)
+        item_ids = np.concatenate(item_parts)
+    else:
+        row_ids = np.zeros(0, dtype=np.int64)
+        item_ids = np.zeros(0, dtype=np.int64)
     units: np.ndarray | None = None
     unit_names = [s.name for s in schema.specs if s.role is Role.UNIT]
     if unit_names:
         units = table.ints(unit_names[0]).data
-    return TransactionDatabase(
-        [tuple(sorted(set(items))) for items in row_items], dictionary, units
+    return TransactionDatabase.from_item_arrays(
+        row_ids, item_ids, n, dictionary, units, codec
     )

@@ -179,9 +179,24 @@ class TestMineFacade:
         assert absolute_minsup(0.5, 10) == 5
         assert absolute_minsup(0.01, 10) == 1
         assert absolute_minsup(3, 10) == 3
+        assert absolute_minsup(3.0, 10) == 3    # integral float is fine
         with pytest.raises(MiningError):
             absolute_minsup(0.0, 10)
         with pytest.raises(MiningError):
             absolute_minsup(-1, 10)
         with pytest.raises(MiningError):
             absolute_minsup(2.5, 10)
+
+    def test_absolute_minsup_non_integer_float_message(self):
+        """Floats >= 1 with a fractional part get the dedicated message."""
+        with pytest.raises(MiningError, match="non-integer float"):
+            absolute_minsup(2.5, 10)
+        with pytest.raises(MiningError, match="whole counts"):
+            absolute_minsup(1.0001, 10)
+
+    def test_absolute_minsup_out_of_range_message(self):
+        """Non-positive and boundary values keep the generic message."""
+        for bad in (0.0, -1, -0.5, 0, 1.0 - 1.0):
+            with pytest.raises(MiningError,
+                               match=r"fraction in \(0,1\) or an integer"):
+                absolute_minsup(bad, 10)
