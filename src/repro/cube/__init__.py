@@ -32,6 +32,7 @@ from repro.cube.cube import (
     SegregationCube,
     check_same_cells,
 )
+from repro.cube.table import CellTable
 from repro.cube.explorer import (
     Discovery,
     Reversal,
@@ -45,6 +46,7 @@ __all__ = [
     "CellComparison",
     "CellKey",
     "CellStats",
+    "CellTable",
     "CubeMetadata",
     "Discovery",
     "NaiveCubeBuilder",

@@ -18,11 +18,20 @@ companion's SegregationDataCubeBuilder): because segregation indexes are
    per-unit counts of ``cover(X)``; every requested segregation index is
    evaluated on those vectors.
 
-Covers are :class:`~repro.itemsets.coverset.Cover` objects (packed
-``uint64`` bitmaps by default; ``codec`` selects the representation),
-and per-unit splitting runs on the database's precomputed unit→rows
-grouping — the builder never touches dense per-transaction boolean
-arrays.
+The fill stage is **columnar** by default (``engine="columnar"``): all
+candidate cells are counted at once through
+:meth:`~repro.itemsets.transactions.TransactionDatabase.unit_counts_many`
+(one grouped, chunked pass producing the ``(n_cells, n_units)`` minority
+matrix), and every index is evaluated per *context* through its batched
+kernel (:meth:`~repro.indexes.base.IndexSpec.compute_batch`) — one
+vectorized call over all cells sharing a context instead of one Python
+call per cell.  Results land directly in the cube's struct-of-arrays
+:class:`~repro.cube.table.CellTable`; they are bit-identical to the
+retained per-cell reference path (``engine="percell"``), which benchmark
+E17 uses as its baseline.  Per-context populations and unit counts are
+computed once per context, never re-derived per cell, and context
+covers below ``min_population`` are discarded before any per-unit
+counting happens.
 
 In ``closed`` mode only closed coordinates are materialised (non-closed
 itemsets select exactly the same minority as their closure); the cube
@@ -33,13 +42,14 @@ item covers, so no information is lost.
 from __future__ import annotations
 
 import time
-from collections.abc import Iterable
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.cube.cell import CellStats
 from repro.cube.coordinates import CellKey
 from repro.cube.cube import CubeMetadata, SegregationCube
+from repro.cube.table import CellTable
 from repro.errors import CubeError
 from repro.etl.schema import Schema
 from repro.etl.table import Table
@@ -52,6 +62,27 @@ from repro.itemsets.miner import absolute_minsup
 from repro.itemsets.transactions import TransactionDatabase, encode_table
 
 Itemset = frozenset[int]
+
+#: Cell-count budget of one columnar fill batch, in int64 matrix
+#: entries (~32 MB): batches hold at most this many cells x units.
+_FILL_BATCH_CELLS = 1 << 22
+
+
+@dataclass
+class MinedCoordinates:
+    """Output of the mining passes, input of the fill stage."""
+
+    #: Mixed SA+CA itemset -> cover, within the coordinate lattice.
+    mixed_covers: "dict[Itemset, Cover]"
+    #: Frequent context -> per-unit population vector ``t``.
+    context_tvecs: "dict[Itemset, np.ndarray]"
+    #: Frequent context -> total population (``t.sum()``, computed once).
+    context_pops: "dict[Itemset, int]"
+    #: Frequent context -> number of non-empty units (computed once).
+    context_nunits: "dict[Itemset, int]"
+    minsup_pop: int
+    minsup_min: int
+    n_contexts: int
 
 
 class SegregationDataCubeBuilder:
@@ -79,6 +110,11 @@ class SegregationDataCubeBuilder:
         Cover representation used when encoding the table
         (``packed`` / ``bool`` / ``ewah``); results are identical
         across codecs.
+    engine:
+        Fill strategy: ``"columnar"`` (default) batches all cells
+        through the count-matrix and vectorized index kernels;
+        ``"percell"`` is the scalar reference path.  Both produce
+        bit-identical cubes.
     """
 
     def __init__(
@@ -91,9 +127,14 @@ class SegregationDataCubeBuilder:
         mode: str = "all",
         backend: str = "eclat",
         codec: str = "packed",
+        engine: str = "columnar",
     ):
         if mode not in ("all", "closed"):
             raise CubeError(f"mode must be 'all' or 'closed', got {mode!r}")
+        if engine not in ("columnar", "percell"):
+            raise CubeError(
+                f"engine must be 'columnar' or 'percell', got {engine!r}"
+            )
         self.indexes: list[IndexSpec] = resolve_indexes(indexes)
         self.min_population = min_population
         self.min_minority = min_minority
@@ -102,6 +143,7 @@ class SegregationDataCubeBuilder:
         self.mode = mode
         self.backend = backend
         self.codec = codec
+        self.engine = engine
 
     # ------------------------------------------------------------------
 
@@ -120,11 +162,54 @@ class SegregationDataCubeBuilder:
         if db.units is None:
             raise CubeError("transaction database has no unit labels")
         started = time.perf_counter()
+        mined = self.mine_coordinates(db)
+        if self.engine == "columnar":
+            store = self._fill_columnar(db, mined)
+        else:
+            store = self._fill_percell(db, mined)
+
+        metadata = CubeMetadata(
+            index_names=[spec.name for spec in self.indexes],
+            min_population=mined.minsup_pop,
+            min_minority=mined.minsup_min,
+            n_rows=len(db),
+            n_units=db.n_units,
+            mode=self.mode,
+            backend=self.backend,
+            build_seconds=time.perf_counter() - started,
+            extra={
+                "n_contexts": mined.n_contexts,
+                "n_mined_itemsets": len(mined.mixed_covers),
+                "engine": self.engine,
+            },
+        )
+        resolver = _LazyResolver(
+            self, db, mined.minsup_pop, mined.minsup_min
+        )
+        return SegregationCube(store, db.dictionary, metadata,
+                               resolver=resolver)
+
+    def mine_coordinates(self, db: TransactionDatabase) -> MinedCoordinates:
+        """Run the two mining passes; no cells are filled yet.
+
+        Pass 1 mines frequent CA-only itemsets (the contexts) with
+        covers; a context below ``min_population`` never reaches the
+        per-unit counting stage (mined contexts satisfy the threshold by
+        eclat's frequency bound, and the hand-added root context — the
+        only other cover — is skipped when the table itself is too
+        small).  The per-context population and non-empty-unit count are
+        derived once here — every cell of a context shares them.
+
+        Pass 2 mines frequent typed itemsets (the candidate cells) with
+        covers, DFS-constrained to the coordinate lattice (at most
+        ``max_sa_items`` SA and ``max_ca_items`` CA items), at the
+        smaller of the two thresholds so that context-only cells (SA
+        part empty, filtered by ``min_population`` later) are not lost
+        when ``min_minority`` exceeds ``min_population``.
+        """
         minsup_pop = absolute_minsup(self.min_population, len(db))
         minsup_min = absolute_minsup(self.min_minority, len(db))
-        n_units = db.n_units
 
-        # Pass 1 — contexts: frequent CA-only itemsets with covers.
         context_covers = mine_eclat(
             db,
             minsup_pop,
@@ -132,17 +217,26 @@ class SegregationDataCubeBuilder:
             max_len=self.max_ca_items,
             with_covers=True,
         )
-        context_covers[frozenset()] = db.full_cover()
+        if len(db) >= minsup_pop:
+            # The root (empty) context is added by hand, so it is the
+            # only cover that can sit below min_population — mined
+            # contexts already satisfy it via eclat's frequency bound.
+            # Skipping it here means no context that cannot produce a
+            # cell ever pays for its per-unit counts.
+            context_covers[frozenset()] = db.full_cover()
+        tvec_matrix = db.unit_counts_many(list(context_covers.values()))
+        pops_vec = tvec_matrix.sum(axis=1)
+        nunits_vec = (tvec_matrix > 0).sum(axis=1)
         context_tvecs = {
-            b: db.unit_counts(cover) for b, cover in context_covers.items()
+            b: tvec_matrix[i] for i, b in enumerate(context_covers)
+        }
+        context_pops = {
+            b: int(pops_vec[i]) for i, b in enumerate(context_covers)
+        }
+        context_nunits = {
+            b: int(nunits_vec[i]) for i, b in enumerate(context_covers)
         }
 
-        # Pass 2 — candidate cells: frequent typed itemsets with covers,
-        # DFS constrained to the coordinate lattice (at most max_sa_items
-        # SA items and max_ca_items CA items).  Mined at the smaller of
-        # the two thresholds so that context-only cells (SA part empty,
-        # filtered by min_population later) are not lost when
-        # min_minority exceeds min_population.
         mixed_minsup = min(minsup_min, minsup_pop)
         mixed_covers = mine_eclat_typed(
             db,
@@ -159,55 +253,208 @@ class SegregationDataCubeBuilder:
             kept[frozenset()] = mixed_covers[frozenset()]
             mixed_covers = kept
 
-        cells: dict[CellKey, CellStats] = {}
-        for itemset, cover in mixed_covers.items():
+        return MinedCoordinates(
+            mixed_covers=mixed_covers,
+            context_tvecs=context_tvecs,
+            context_pops=context_pops,
+            context_nunits=context_nunits,
+            minsup_pop=minsup_pop,
+            minsup_min=minsup_min,
+            n_contexts=len(context_covers),
+        )
+
+    # ------------------------------------------------------------------
+    # Fill engines
+    # ------------------------------------------------------------------
+
+    def _candidates(self, db: TransactionDatabase, mined: MinedCoordinates):
+        """Yield ``(key, ca_part, cover)`` for every in-lattice itemset
+        whose context survived the population threshold."""
+        for itemset, cover in mined.mixed_covers.items():
             sa_part, ca_part = db.dictionary.split(itemset)
-            if self.max_sa_items is not None and len(sa_part) > self.max_sa_items:
+            if (self.max_sa_items is not None
+                    and len(sa_part) > self.max_sa_items):
                 continue
-            if self.max_ca_items is not None and len(ca_part) > self.max_ca_items:
+            if (self.max_ca_items is not None
+                    and len(ca_part) > self.max_ca_items):
                 continue
-            tvec = context_tvecs.get(ca_part)
-            if tvec is None:
+            if ca_part not in mined.context_tvecs:
                 # Context below the population threshold: no cell.
                 continue
+            key: CellKey = (sa_part, ca_part)
+            yield key, ca_part, cover
+
+    def _fill_columnar(
+        self, db: TransactionDatabase, mined: MinedCoordinates
+    ) -> CellTable:
+        """Batch-evaluate every candidate cell through count matrices.
+
+        SA-bearing candidates are grouped by context and processed in
+        bounded batches of contexts: each batch gets its minority-count
+        matrix from one ``unit_counts_many`` pass, rows below
+        ``min_minority`` are dropped with one mask, and each index is
+        evaluated per context with a single batched kernel call over
+        that context's surviving rows.  Only per-cell scalars (minority
+        totals, index values) persist across batches, so peak memory is
+        bounded by the batch size, not ``n_cells * n_units``.
+        """
+        specs = self.indexes
+        # Phase A — enumerate candidates in mining order (the order the
+        # per-cell path inserts cells in).  Context-only cells (empty SA
+        # part) need no counting; SA-bearing cells queue their covers.
+        cand_keys: "list[CellKey]" = []
+        cand_ctx: "list[Itemset]" = []
+        sa_covers: "list[Cover]" = []
+        sa_row: "list[int]" = []       # candidate -> matrix row (-1 = ctx)
+        for key, ca_part, cover in self._candidates(db, mined):
+            cand_keys.append(key)
+            cand_ctx.append(ca_part)
+            if key[0]:
+                sa_row.append(len(sa_covers))
+                sa_covers.append(cover)
+            else:
+                sa_row.append(-1)
+        n_cand = len(cand_keys)
+        rows_of = np.array(sa_row, dtype=np.int64)
+        pops = np.fromiter(
+            (mined.context_pops[b] for b in cand_ctx), dtype=np.int64,
+            count=n_cand,
+        )
+        units_of = np.fromiter(
+            (mined.context_nunits[b] for b in cand_ctx), dtype=np.int64,
+            count=n_cand,
+        )
+
+        # Phase B/C — count and evaluate per bounded batch of contexts.
+        # Grouping by context lets each batch share one grouped
+        # ``unit_counts_many`` pass and one kernel-input preparation per
+        # context; the count matrix of a batch is discarded once its
+        # minority totals and index values are extracted.
+        by_context: "dict[Itemset, list[int]]" = {}
+        for cand, row in enumerate(rows_of):
+            if row >= 0:
+                by_context.setdefault(cand_ctx[cand], []).append(int(row))
+        minority_totals = np.zeros(len(sa_covers), dtype=np.int64)
+        kept_rows = np.zeros(len(sa_covers), dtype=bool)
+        values = np.full((len(specs), len(sa_covers)), np.nan)
+        n_units = max(1, db.n_units)
+        max_batch_cells = max(1, _FILL_BATCH_CELLS // n_units)
+        # Kernels are row-independent, so contexts are sliced freely
+        # into batches of exactly max_batch_cells rows (the last one
+        # smaller) — the memory bound holds even when a single popular
+        # context dominates the candidate set.
+        batches: "list[list[tuple[Itemset, list[int]]]]" = []
+        batch_acc: "list[tuple[Itemset, list[int]]]" = []
+        room = max_batch_cells
+        for ca_part, rows in by_context.items():
+            start = 0
+            while start < len(rows):
+                take = rows[start:start + room]
+                batch_acc.append((ca_part, take))
+                start += len(take)
+                room -= len(take)
+                if room == 0:
+                    batches.append(batch_acc)
+                    batch_acc, room = [], max_batch_cells
+        if batch_acc:
+            batches.append(batch_acc)
+        for batch in batches:
+            matrix = db.unit_counts_many(
+                [sa_covers[r] for _, rows in batch for r in rows]
+            )
+            offset = 0
+            for ca_part, rows in batch:
+                sub_all = matrix[offset:offset + len(rows)]
+                offset += len(rows)
+                totals = sub_all.sum(axis=1)
+                minority_totals[rows] = totals
+                keep_cells = totals >= mined.minsup_min
+                kept = [r for r, k in zip(rows, keep_cells) if k]
+                if not kept:
+                    continue
+                kept_rows[kept] = True
+                # Prepare once per context (float64 cast + empty-unit
+                # drop), not once per index: every spec sees the same
+                # batch.
+                tvec = mined.context_tvecs[ca_part].astype(np.float64)
+                sub = sub_all[keep_cells].astype(np.float64)
+                keep_units = tvec > 0
+                if not keep_units.all():
+                    tvec = tvec[keep_units]
+                    sub = np.ascontiguousarray(sub[:, keep_units])
+                for j, spec in enumerate(specs):
+                    values[j, kept] = spec.compute_batch_prepared(tvec, sub)
+
+        # Phase D — scatter the surviving candidates into the store,
+        # keeping mining order.
+        is_ctx = rows_of < 0
+        emit = is_ctx.copy()
+        emit[~is_ctx] = kept_rows[rows_of[~is_ctx]]
+        out_idx = np.flatnonzero(emit)
+        out_rows = rows_of[out_idx]
+        out_is_ctx = out_rows < 0
+        minority = np.empty(len(out_idx), dtype=np.int64)
+        minority[out_is_ctx] = pops[out_idx][out_is_ctx]
+        minority[~out_is_ctx] = minority_totals[out_rows[~out_is_ctx]]
+        columns = {}
+        for j, spec in enumerate(specs):
+            col = np.full(len(out_idx), np.nan)
+            col[~out_is_ctx] = values[j, out_rows[~out_is_ctx]]
+            columns[spec.name] = col
+        return CellTable(
+            [cand_keys[i] for i in out_idx],
+            pops[out_idx],
+            minority,
+            units_of[out_idx],
+            columns,
+            len(db.dictionary),
+        )
+
+    def _fill_percell(
+        self, db: TransactionDatabase, mined: MinedCoordinates
+    ) -> "dict[CellKey, CellStats]":
+        """Reference fill: one scalar ``_make_cell`` per candidate."""
+        cells: dict[CellKey, CellStats] = {}
+        for key, ca_part, cover in self._candidates(db, mined):
             stats = self._make_cell(
-                (sa_part, ca_part), cover, tvec, db, minsup_pop, minsup_min
+                key,
+                cover,
+                mined.context_tvecs[ca_part],
+                db,
+                mined.minsup_pop,
+                mined.minsup_min,
+                population=mined.context_pops[ca_part],
+                n_units=mined.context_nunits[ca_part],
             )
             if stats is not None:
                 cells[stats.key] = stats
-
-        metadata = CubeMetadata(
-            index_names=[spec.name for spec in self.indexes],
-            min_population=minsup_pop,
-            min_minority=minsup_min,
-            n_rows=len(db),
-            n_units=n_units,
-            mode=self.mode,
-            backend=self.backend,
-            build_seconds=time.perf_counter() - started,
-            extra={
-                "n_contexts": len(context_covers),
-                "n_mined_itemsets": len(mixed_covers),
-            },
-        )
-        resolver = _LazyResolver(self, db, minsup_pop, minsup_min)
-        return SegregationCube(cells, db.dictionary, metadata, resolver=resolver)
+        return cells
 
     # ------------------------------------------------------------------
 
     def _make_cell(
         self,
         key: CellKey,
-        minority_cover: Cover,
+        minority_cover: "Cover | None",
         context_tvec: np.ndarray,
         db: TransactionDatabase,
         minsup_pop: int,
         minsup_min: int,
+        population: "int | None" = None,
+        n_units: "int | None" = None,
     ) -> "CellStats | None":
-        """Fill one cell from covers; None when below thresholds."""
-        population = int(context_tvec.sum())
+        """Fill one cell from covers; None when below thresholds.
+
+        ``population`` / ``n_units`` take the per-context values already
+        derived by :meth:`mine_coordinates`; when None (the lazy
+        resolver's ad-hoc queries) they are computed from the vector.
+        """
+        if population is None:
+            population = int(context_tvec.sum())
         if population < minsup_pop:
             return None
+        if n_units is None:
+            n_units = int((context_tvec > 0).sum())
         sa_part, _ = key
         if not sa_part:
             # Context-only navigation cell: indexes undefined by design.
@@ -215,7 +462,7 @@ class SegregationDataCubeBuilder:
                 key=key,
                 population=population,
                 minority=population,
-                n_units=int((context_tvec > 0).sum()),
+                n_units=n_units,
                 indexes={spec.name: float("nan") for spec in self.indexes},
             )
         mvec = db.unit_counts(minority_cover)
@@ -228,7 +475,7 @@ class SegregationDataCubeBuilder:
             key=key,
             population=population,
             minority=minority,
-            n_units=int((context_tvec > 0).sum()),
+            n_units=n_units,
             indexes=indexes,
         )
 
@@ -277,6 +524,7 @@ def build_cube(
     max_ca_items: "int | None" = None,
     mode: str = "all",
     codec: str = "packed",
+    engine: str = "columnar",
 ) -> SegregationCube:
     """One-call convenience wrapper around the builder."""
     builder = SegregationDataCubeBuilder(
@@ -287,5 +535,6 @@ def build_cube(
         max_ca_items=max_ca_items,
         mode=mode,
         codec=codec,
+        engine=engine,
     )
     return builder.build(table, schema)

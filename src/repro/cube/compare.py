@@ -4,13 +4,16 @@ The demonstration closes with "a cross-comparison of the Italian vs
 Estonian segregation findings" (paper §4).  Two cubes built over
 different populations cannot be joined on item ids (their dictionaries
 differ); cells are aligned on their *decoded* coordinates —
-``attribute=value`` pairs — and compared index by index.
+``attribute=value`` pairs — and compared index by index.  Counts and
+index values are read straight off the cubes' columnar stores; no
+per-cell objects are materialised during the join.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.cube.coordinates import decode_part
 from repro.cube.cube import SegregationCube
@@ -72,31 +75,31 @@ def compare_cubes(
     sides, are returned — sorted by absolute delta, largest divergence
     first.
     """
-    left_cells = {
-        _aligned_key(left, key): left.cell_by_key(key) for key in left.keys()
+    lt, rt = left.table, right.table
+    l_col = lt.columns.get(index_name)
+    r_col = rt.columns.get(index_name)
+    if l_col is None or r_col is None:
+        return []
+    # Pre-filter each side columnar-ly: defined index + minority guard.
+    l_ok = ~np.isnan(l_col) & (lt.minority >= min_minority)
+    r_ok = ~np.isnan(r_col) & (rt.minority >= min_minority)
+    left_rows = {
+        _aligned_key(left, lt.keys[i]): i for i in np.flatnonzero(l_ok)
     }
     out: list[CellComparison] = []
-    for key in right.keys():
-        aligned = _aligned_key(right, key)
-        left_cell = left_cells.get(aligned)
-        right_cell = right.cell_by_key(key)
-        if left_cell is None or right_cell is None:
-            continue
-        if left_cell.minority < min_minority:
-            continue
-        if right_cell.minority < min_minority:
-            continue
-        lv, rv = left_cell.value(index_name), right_cell.value(index_name)
-        if math.isnan(lv) or math.isnan(rv):
+    for j in np.flatnonzero(r_ok):
+        aligned = _aligned_key(right, rt.keys[j])
+        i = left_rows.get(aligned)
+        if i is None:
             continue
         out.append(
             CellComparison(
                 description=describe_aligned(aligned),
                 index_name=index_name,
-                left_value=lv,
-                right_value=rv,
-                left_population=left_cell.population,
-                right_population=right_cell.population,
+                left_value=float(l_col[i]),
+                right_value=float(r_col[j]),
+                left_population=int(lt.population[i]),
+                right_population=int(rt.population[j]),
             )
         )
     out.sort(key=lambda c: -abs(c.delta))

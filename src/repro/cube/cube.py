@@ -1,10 +1,14 @@
 """The multi-dimensional segregation data cube (paper Fig. 1).
 
-A :class:`SegregationCube` maps cell keys — (SA itemset, CA itemset)
-pairs, with absent attributes at ``⋆`` — to :class:`CellStats`.  It
-supports the OLAP-style exploration the demo walks through: point
-lookups, slicing, roll-up/drill-down navigation, top-k ranking and
-tabular export.
+A :class:`SegregationCube` answers the OLAP-style exploration the demo
+walks through — point lookups, slicing, roll-up/drill-down navigation,
+top-k ranking and tabular export — over a **columnar** cell store: cells
+live in a :class:`~repro.cube.table.CellTable` (struct-of-arrays: packed
+coordinate bitmasks, int64 count columns, one float64 column per index),
+and every bulk query runs as array operations over whole columns —
+subset-mask slicing, ``argpartition`` top-k — instead of walking
+per-cell objects.  :class:`~repro.cube.cell.CellStats` remains the
+per-cell API, materialised lazily from table rows on demand.
 
 Cubes built in ``closed`` mode materialise only closed coordinates; an
 attached *resolver* (provided by the builder) answers point queries for
@@ -17,7 +21,9 @@ from __future__ import annotations
 import math
 from collections.abc import Iterator, Mapping
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
+
+import numpy as np
 
 from repro.cube.cell import CellStats
 from repro.cube.coordinates import (
@@ -27,6 +33,7 @@ from repro.cube.coordinates import (
     encode_query,
     parents_of,
 )
+from repro.cube.table import CellTable
 from repro.errors import CubeError
 from repro.itemsets.items import ItemDictionary, ItemKind
 
@@ -53,31 +60,43 @@ class SegregationCube:
 
     def __init__(
         self,
-        cells: dict[CellKey, CellStats],
+        cells: "Union[CellTable, dict[CellKey, CellStats]]",
         dictionary: ItemDictionary,
         metadata: CubeMetadata,
         resolver: "Resolver | None" = None,
     ):
-        self._cells = cells
+        if isinstance(cells, CellTable):
+            self._table = cells
+        else:
+            # Per-object dicts (naive builder, hand-built cubes) are
+            # converted into the columnar store at construction.
+            self._table = CellTable.from_cells(
+                cells, metadata.index_names, len(dictionary)
+            )
         self.dictionary = dictionary
         self.metadata = metadata
         self._resolver = resolver
+
+    @property
+    def table(self) -> CellTable:
+        """The underlying struct-of-arrays cell store."""
+        return self._table
 
     # ------------------------------------------------------------------
     # Container protocol
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._cells)
+        return len(self._table)
 
     def __iter__(self) -> Iterator[CellStats]:
-        return iter(self._cells.values())
+        return (self._table.stats(i) for i in range(len(self._table)))
 
     def __contains__(self, key: CellKey) -> bool:
-        return key in self._cells
+        return key in self._table
 
     def keys(self) -> Iterator[CellKey]:
-        return iter(self._cells)
+        return iter(self._table.keys)
 
     # ------------------------------------------------------------------
     # Lookup
@@ -85,9 +104,9 @@ class SegregationCube:
 
     def cell_by_key(self, key: CellKey) -> "CellStats | None":
         """Materialised cell, or resolver-computed cell, or None."""
-        found = self._cells.get(key)
-        if found is not None:
-            return found
+        row = self._table.row_of(key)
+        if row is not None:
+            return self._table.stats(row)
         if self._resolver is not None:
             return self._resolver(key)
         return None
@@ -113,8 +132,24 @@ class SegregationCube:
         ca: "Mapping[str, object] | None" = None,
     ) -> float:
         """Index value at the given coordinates (nan when absent)."""
-        stats = self.cell(sa=sa, ca=ca)
-        return stats.value(index_name) if stats is not None else float("nan")
+        key = encode_query(self.dictionary, sa=sa, ca=ca)
+        return self.value_by_key(index_name, key)
+
+    def value_by_key(self, index_name: str, key: CellKey) -> float:
+        """Index value at an encoded key, read straight off the column.
+
+        Materialised cells cost one array access — no
+        :class:`CellStats` is built; missing cells go through the lazy
+        resolver (nan when below thresholds or absent).
+        """
+        row = self._table.row_of(key)
+        if row is not None:
+            return self._table.value_at(row, index_name)
+        if self._resolver is not None:
+            stats = self._resolver(key)
+            if stats is not None:
+                return stats.value(index_name)
+        return float("nan")
 
     # ------------------------------------------------------------------
     # Navigation
@@ -123,14 +158,9 @@ class SegregationCube:
     def children(self, key: CellKey) -> "list[CellStats]":
         """Materialised cells refining ``key`` by exactly one item."""
         sa, ca = key
-        out = []
-        for other_key, stats in self._cells.items():
-            o_sa, o_ca = other_key
-            if not (sa <= o_sa and ca <= o_ca):
-                continue
-            if (len(o_sa) - len(sa)) + (len(o_ca) - len(ca)) == 1:
-                out.append(stats)
-        return out
+        mask = self._table.superset_mask(sa, ca)
+        mask &= self._table.depths == (len(sa) + len(ca) + 1)
+        return [self._table.stats(i) for i in np.flatnonzero(mask)]
 
     def parents(self, key: CellKey) -> "list[CellStats]":
         """Materialised roll-up neighbours of ``key``."""
@@ -148,11 +178,8 @@ class SegregationCube:
     ) -> "list[CellStats]":
         """All materialised cells whose coordinates *include* the given ones."""
         want_sa, want_ca = encode_query(self.dictionary, sa=sa, ca=ca)
-        return [
-            stats
-            for key, stats in self._cells.items()
-            if want_sa <= key[0] and want_ca <= key[1]
-        ]
+        mask = self._table.superset_mask(want_sa, want_ca)
+        return [self._table.stats(i) for i in np.flatnonzero(mask)]
 
     def top(
         self,
@@ -167,23 +194,28 @@ class SegregationCube:
 
         Context-only cells and cells whose index is undefined are
         excluded; ties break deterministically on the cell description.
+        The ranking is columnar: filters are boolean masks and the
+        top-``k`` cut is an ``argpartition``, so only cells tied at the
+        boundary pay for coordinate decoding.
         """
-        candidates = [
-            stats
-            for stats in self._cells.values()
-            if not stats.is_context_only
-            and stats.is_defined(index_name)
-            and stats.minority >= min_minority
-            and stats.population >= min_population
-            and stats.n_units >= min_units
-        ]
-        candidates.sort(
-            key=lambda s: (
-                s.value(index_name) if ascending else -s.value(index_name),
-                describe_key(s.key, self.dictionary),
-            )
+        table = self._table
+        mask = (
+            ~table.context_only_mask()
+            & table.defined_mask(index_name)
+            & (table.minority >= min_minority)
+            & (table.population >= min_population)
+            & (table.n_units >= min_units)
         )
-        return candidates[:k]
+        rows = table.top_rows(
+            index_name,
+            k,
+            mask,
+            descending=not ascending,
+            tie_break=lambda row: describe_key(
+                table.keys[row], self.dictionary
+            ),
+        )
+        return [self._table.stats(i) for i in rows]
 
     # ------------------------------------------------------------------
     # Export
@@ -211,28 +243,35 @@ class SegregationCube:
         """Flatten the cube for CSV/xlsx export (the ``cube.csv`` artefact).
 
         One row per cell: attribute columns (``*`` for wildcards), then
-        T, M, P, n_units and one column per index.
+        T, M, P, n_units and one column per index — read straight from
+        the table columns, no per-cell objects.
         """
         sa_attrs = self.sa_attributes()
         ca_attrs = self.ca_attributes()
+        table = self._table
+        depths = table.depths
+        order = sorted(
+            range(len(table)),
+            key=lambda i: (
+                int(depths[i]),
+                describe_key(table.keys[i], self.dictionary),
+            ),
+        )
         rows = []
-        for key, stats in sorted(
-            self._cells.items(),
-            key=lambda kv: (kv[1].depth(), describe_key(kv[0], self.dictionary)),
-        ):
+        for i in order:
             row: dict[str, object] = coordinate_columns(
-                key, self.dictionary, sa_attrs, ca_attrs
+                table.keys[i], self.dictionary, sa_attrs, ca_attrs
             )
-            row["T"] = stats.population
-            row["M"] = stats.minority
+            population = int(table.population[i])
+            minority = int(table.minority[i])
+            row["T"] = population
+            row["M"] = minority
             row["P"] = (
-                round(stats.proportion, 6)
-                if not math.isnan(stats.proportion)
-                else ""
+                round(minority / population, 6) if population > 0 else ""
             )
-            row["units"] = stats.n_units
+            row["units"] = int(table.n_units[i])
             for name in self.metadata.index_names:
-                value = stats.value(name)
+                value = table.value_at(i, name)
                 row[name] = round(value, 6) if not math.isnan(value) else ""
             rows.append(row)
         return rows
@@ -243,7 +282,7 @@ class SegregationCube:
 
     def __repr__(self) -> str:
         return (
-            f"SegregationCube({len(self._cells)} cells, "
+            f"SegregationCube({len(self._table)} cells, "
             f"indexes={self.metadata.index_names}, mode={self.metadata.mode})"
         )
 

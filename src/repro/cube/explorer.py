@@ -17,6 +17,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.cube.cell import CellStats
 from repro.cube.coordinates import parents_of
 from repro.cube.cube import SegregationCube
@@ -102,12 +104,21 @@ def simpson_reversals(
     if low > high:
         raise CubeError(f"low ({low}) must not exceed high ({high})")
     out: list[Reversal] = []
-    for stats in cube:
-        if stats.is_context_only or stats.minority < min_minority:
-            continue
+    # Candidate children come from one columnar filter; only qualifying
+    # cells are materialised and pay for parent lookups.
+    table = cube.table
+    col = table.columns.get(index_name)
+    if col is None:
+        return out
+    mask = (
+        ~table.context_only_mask()
+        & ~np.isnan(col)
+        & (table.minority >= min_minority)
+        & (col >= high)
+    )
+    for row in np.flatnonzero(mask):
+        stats = cube.table.stats(int(row))
         child_value = stats.value(index_name)
-        if math.isnan(child_value) or child_value < high:
-            continue
         for parent_key in parents_of(stats.key):
             parent = cube.cell_by_key(parent_key)
             if parent is None or parent.is_context_only:
@@ -129,14 +140,15 @@ def simpson_reversals(
 
 
 def summarize_cube(cube: SegregationCube) -> dict[str, object]:
-    """Headline numbers for logs and reports."""
+    """Headline numbers for logs and reports (columnar column scans)."""
+    table = cube.table
     defined = {
-        name: sum(1 for c in cube if c.is_defined(name))
+        name: int(table.defined_mask(name).sum())
         for name in cube.metadata.index_names
     }
     return {
         "cells": len(cube),
-        "context_only_cells": sum(1 for c in cube if c.is_context_only),
+        "context_only_cells": int(table.context_only_mask().sum()),
         "defined_cells_per_index": defined,
         "mode": cube.metadata.mode,
         "min_population": cube.metadata.min_population,

@@ -1,0 +1,263 @@
+"""CellTable: the struct-of-arrays store backing the segregation cube.
+
+Instead of one :class:`~repro.cube.cell.CellStats` object per cell, the
+cube keeps parallel columns over all cells at once:
+
+* ``keys`` — the (SA itemset, CA itemset) cell keys, one per row, with a
+  hash index for O(1) point lookup;
+* ``sa_masks`` / ``ca_masks`` — the same keys *encoded* as packed
+  ``uint64`` bitmasks over item ids, so slicing and roll-up/drill-down
+  become word-wise subset tests over whole columns;
+* ``population`` / ``minority`` / ``n_units`` — int64 count columns;
+* one float64 column per segregation index.
+
+Query primitives (:meth:`superset_mask`, :meth:`top_rows`) are array
+operations — boolean masks and ``argpartition`` top-k — and
+:class:`CellStats` survives as a lazily materialised per-cell view
+(:meth:`stats`), so the object-per-cell API keeps working unchanged.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from itertools import chain
+
+import numpy as np
+
+from repro.cube.cell import CellStats
+from repro.cube.coordinates import CellKey
+
+_WORD_BITS = 64
+
+
+def _n_words(n_items: int) -> int:
+    return max(1, (n_items + _WORD_BITS - 1) // _WORD_BITS)
+
+
+def pack_items(items: Iterable[int], n_words: int) -> np.ndarray:
+    """Encode an itemset as a packed ``uint64`` bitmask over item ids."""
+    mask = np.zeros(n_words, dtype=np.uint64)
+    for item in items:
+        mask[item >> 6] |= np.uint64(1) << np.uint64(item & 63)
+    return mask
+
+
+class CellTable:
+    """Columnar storage of cube cells (one array element per cell)."""
+
+    def __init__(
+        self,
+        keys: Sequence[CellKey],
+        population: "Sequence[int] | np.ndarray",
+        minority: "Sequence[int] | np.ndarray",
+        n_units: "Sequence[int] | np.ndarray",
+        columns: "dict[str, np.ndarray]",
+        n_items: int,
+    ):
+        self.keys: list[CellKey] = list(keys)
+        n = len(self.keys)
+        self.population = np.asarray(population, dtype=np.int64)
+        self.minority = np.asarray(minority, dtype=np.int64)
+        self.n_units = np.asarray(n_units, dtype=np.int64)
+        self.columns = {
+            name: np.asarray(col, dtype=np.float64)
+            for name, col in columns.items()
+        }
+        for label, arr in (
+            ("population", self.population),
+            ("minority", self.minority),
+            ("n_units", self.n_units),
+            *self.columns.items(),
+        ):
+            if len(arr) != n:
+                raise ValueError(
+                    f"column {label!r} has {len(arr)} rows for {n} cells"
+                )
+        self._row_of = {key: i for i, key in enumerate(self.keys)}
+        self.sa_sizes = np.fromiter(
+            (len(k[0]) for k in self.keys), dtype=np.int64, count=n
+        )
+        self.ca_sizes = np.fromiter(
+            (len(k[1]) for k in self.keys), dtype=np.int64, count=n
+        )
+        # Size the key bitmasks to the largest id actually present:
+        # hand-built cubes may carry keys beyond the dictionary, which
+        # the old dict-backed store accepted.
+        max_item = max(
+            (item for key in self.keys for part in key for item in part),
+            default=-1,
+        )
+        n_words = _n_words(max(n_items, max_item + 1))
+        self.sa_masks = self._pack_parts([k[0] for k in self.keys], n_words)
+        self.ca_masks = self._pack_parts([k[1] for k in self.keys], n_words)
+
+    @staticmethod
+    def _pack_parts(
+        parts: "list[frozenset[int]]", n_words: int
+    ) -> np.ndarray:
+        """Pack every itemset into one row of a ``uint64`` mask matrix."""
+        n = len(parts)
+        masks = np.zeros((n, n_words), dtype=np.uint64)
+        lengths = np.fromiter(
+            (len(p) for p in parts), dtype=np.int64, count=n
+        )
+        rows = np.repeat(np.arange(n, dtype=np.int64), lengths)
+        items = np.fromiter(
+            chain.from_iterable(parts), dtype=np.int64,
+            count=int(lengths.sum()),
+        )
+        np.bitwise_or.at(
+            masks,
+            (rows, items >> 6),
+            np.uint64(1) << (items & 63).astype(np.uint64),
+        )
+        return masks
+
+    @classmethod
+    def from_cells(
+        cls,
+        cells: "dict[CellKey, CellStats]",
+        index_names: "list[str]",
+        n_items: int,
+    ) -> "CellTable":
+        """Convert a per-object cell dict (e.g. the naive builder's)."""
+        keys = list(cells.keys())
+        stats = [cells[k] for k in keys]
+        # Hand-built cells may carry index entries beyond the declared
+        # names; keep them as extra columns so point lookups still see
+        # them (declared names first, extras in sorted order).
+        extra = sorted(
+            {name for s in stats for name in s.indexes}
+            - set(index_names)
+        )
+        return cls(
+            keys,
+            [s.population for s in stats],
+            [s.minority for s in stats],
+            [s.n_units for s in stats],
+            {
+                name: np.array(
+                    [s.indexes.get(name, float("nan")) for s in stats],
+                    dtype=np.float64,
+                )
+                for name in list(index_names) + extra
+            },
+            n_items,
+        )
+
+    # ------------------------------------------------------------------
+    # Row access
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def __contains__(self, key: CellKey) -> bool:
+        return key in self._row_of
+
+    def row_of(self, key: CellKey) -> "int | None":
+        """Row index of a cell key, or None when not materialised."""
+        return self._row_of.get(key)
+
+    def stats(self, row: int) -> CellStats:
+        """Materialise one row as a :class:`CellStats` view."""
+        return CellStats(
+            key=self.keys[row],
+            population=int(self.population[row]),
+            minority=int(self.minority[row]),
+            n_units=int(self.n_units[row]),
+            indexes={
+                name: float(col[row]) for name, col in self.columns.items()
+            },
+        )
+
+    def value_at(self, row: int, index_name: str) -> float:
+        """One index value without materialising the row."""
+        col = self.columns.get(index_name)
+        return float(col[row]) if col is not None else float("nan")
+
+    # ------------------------------------------------------------------
+    # Columnar masks
+    # ------------------------------------------------------------------
+
+    @property
+    def depths(self) -> np.ndarray:
+        """Per-cell coordinate count (``|A| + |B|``)."""
+        return self.sa_sizes + self.ca_sizes
+
+    def context_only_mask(self) -> np.ndarray:
+        """True for cells with an all-``⋆`` SA part."""
+        return self.sa_sizes == 0
+
+    def defined_mask(self, index_name: str) -> np.ndarray:
+        """True where the index value is a proper number."""
+        col = self.columns.get(index_name)
+        if col is None:
+            return np.zeros(len(self), dtype=bool)
+        return ~np.isnan(col)
+
+    def superset_mask(self, sa_items: Iterable[int],
+                      ca_items: Iterable[int]) -> np.ndarray:
+        """True for cells whose coordinates include the given itemsets.
+
+        Word-wise containment: row ``r`` passes when
+        ``sa_masks[r] & want_sa == want_sa`` (and likewise for CA) —
+        the array form of ``want_sa <= key[0] and want_ca <= key[1]``.
+        Item ids beyond the mask capacity (e.g. keys borrowed from
+        another cube's dictionary) cannot be contained in any cell, so
+        they yield an all-False mask, like the frozenset subset test.
+        """
+        sa_items = list(sa_items)
+        ca_items = list(ca_items)
+        n_words = self.sa_masks.shape[1]
+        capacity = n_words * _WORD_BITS
+        if any(
+            item < 0 or item >= capacity
+            for item in chain(sa_items, ca_items)
+        ):
+            return np.zeros(len(self), dtype=bool)
+        want_sa = pack_items(sa_items, n_words)
+        want_ca = pack_items(ca_items, n_words)
+        return (
+            ((self.sa_masks & want_sa) == want_sa).all(axis=1)
+            & ((self.ca_masks & want_ca) == want_ca).all(axis=1)
+        )
+
+    def top_rows(
+        self,
+        index_name: str,
+        k: int,
+        mask: np.ndarray,
+        descending: bool,
+        tie_break,
+    ) -> "list[int]":
+        """Top-``k`` rows of ``mask`` by one index column.
+
+        ``argpartition`` narrows the candidates to the boundary value
+        before any per-cell work; only rows tied around the cut-off are
+        ranked with the (Python-level) ``tie_break`` description key, so
+        the expensive decode runs on O(k) cells, not O(n).
+        """
+        col = self.columns.get(index_name)
+        if col is None or k <= 0:
+            return []
+        rows = np.flatnonzero(mask)
+        if len(rows) == 0:
+            return []
+        # NaN (undefined) cells cannot rank; drop them here so the
+        # partition boundary is always a real value even when the
+        # caller's mask did not pre-filter them.
+        defined = ~np.isnan(col[rows])
+        rows = rows[defined]
+        if len(rows) == 0:
+            return []
+        order_vals = col[rows] if not descending else -col[rows]
+        if len(rows) > k:
+            kth = np.partition(order_vals, k - 1)[k - 1]
+            keep = order_vals <= kth
+            rows, order_vals = rows[keep], order_vals[keep]
+        ranked = sorted(
+            zip(order_vals.tolist(), rows.tolist()),
+            key=lambda pair: (pair[0], tie_break(pair[1])),
+        )
+        return [row for _, row in ranked[:k]]

@@ -14,6 +14,7 @@ from repro.indexes.base import (
     INFORMATION,
     INTERACTION,
     ISOLATION,
+    BatchIndexFunc,
     IndexFunc,
     IndexSpec,
     all_index_names,
@@ -61,6 +62,7 @@ from repro.indexes.spatial import (
 
 __all__ = [
     "ATKINSON",
+    "BatchIndexFunc",
     "BootstrapResult",
     "DEFAULT_INDEXES",
     "DISSIMILARITY",

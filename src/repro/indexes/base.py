@@ -4,19 +4,33 @@ The cube builder is "parametric to the indexes" (paper §2): it receives a
 list of index names and fills one metric per cell and per index.  The
 registry maps the canonical names — ``D``, ``G``, ``H``, ``Iso``,
 ``Int``, ``A`` — to their implementations and documents their ranges.
+
+Every spec carries two implementations: the scalar ``func`` evaluating
+one :class:`~repro.indexes.counts.UnitCounts`, and an optional
+``batch_func`` (:mod:`repro.indexes.vectorized`) evaluating a whole
+``(n_cells, n_units)`` minority-count matrix against one shared
+population vector in one vectorized pass — the kernel the columnar cube
+fill dispatches to through :meth:`IndexSpec.compute_batch`.  Custom
+indexes registered without a ``batch_func`` transparently fall back to a
+row-by-row scalar loop, so the batch entry point is always available.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import partial
-from typing import Callable
+from typing import Callable, Optional
+
+import numpy as np
 
 from repro.errors import SegregationIndexError
-from repro.indexes import binary
+from repro.indexes import binary, vectorized
 from repro.indexes.counts import UnitCounts
 
 IndexFunc = Callable[[UnitCounts], float]
+#: Batched form: ``(t, m)`` with ``t`` of shape ``(n_units,)`` and ``m``
+#: of shape ``(n_cells, n_units)`` -> values of shape ``(n_cells,)``.
+BatchIndexFunc = Callable[[np.ndarray, np.ndarray], np.ndarray]
 
 
 @dataclass(frozen=True)
@@ -31,10 +45,65 @@ class IndexSpec:
     #: True when 0 means "no segregation" and the maximum means complete
     #: segregation (false for exposure-type indexes like Interaction).
     higher_is_more_segregated: bool
+    #: Optional batched kernel; None falls back to a scalar loop.
+    batch_func: Optional[BatchIndexFunc] = None
 
     def compute(self, counts: UnitCounts) -> float:
         """Evaluate the index on per-unit counts."""
         return self.func(counts)
+
+    def compute_batch(
+        self,
+        totals: np.ndarray,
+        minority_matrix: np.ndarray,
+    ) -> np.ndarray:
+        """Evaluate the index on every row of a minority-count matrix.
+
+        ``totals`` is the shared per-unit population vector of one
+        context; ``minority_matrix`` holds one cell per row.  Empty units
+        (``t_i == 0``) are dropped once up front, exactly as
+        ``UnitCounts(drop_empty=True)`` does per cell, so results are
+        bit-identical to calling :meth:`compute` row by row.
+        """
+        t = np.asarray(totals, dtype=np.float64)
+        # C-contiguous rows, unconditionally: axis-1 reductions on
+        # strided (e.g. Fortran-ordered) rows lose the pairwise
+        # summation order the bit-identity contract depends on.
+        m = np.ascontiguousarray(minority_matrix, dtype=np.float64)
+        if m.ndim != 2 or m.shape[1] != len(t):
+            raise SegregationIndexError(
+                f"minority matrix of shape {m.shape} does not match "
+                f"{len(t)} units"
+            )
+        keep = t > 0
+        if not keep.all():
+            # ``m[:, keep]`` comes back F-contiguous; reductions along
+            # axis 1 must run on C-contiguous rows to be bit-identical
+            # to the scalar path's 1-D sums.
+            t, m = t[keep], np.ascontiguousarray(m[:, keep])
+        return self.compute_batch_prepared(t, m)
+
+    def compute_batch_prepared(
+        self,
+        totals: np.ndarray,
+        minority_matrix: np.ndarray,
+    ) -> np.ndarray:
+        """:meth:`compute_batch` minus input preparation.
+
+        Caller contract: both arrays are float64, empty units are
+        already dropped, and ``minority_matrix`` rows are C-contiguous.
+        Callers evaluating several indexes over the *same* batch (the
+        columnar cube fill) prepare once and dispatch each spec here.
+        """
+        if self.batch_func is not None:
+            return self.batch_func(totals, minority_matrix)
+        return np.array(
+            [
+                self.func(UnitCounts(totals, row, drop_empty=False))
+                for row in minority_matrix
+            ],
+            dtype=np.float64,
+        )
 
 
 _REGISTRY: dict[str, IndexSpec] = {}
@@ -72,17 +141,22 @@ def all_index_names() -> list[str]:
 
 
 DISSIMILARITY = register(
-    IndexSpec("D", "Dissimilarity", binary.dissimilarity, (0.0, 1.0), True)
+    IndexSpec("D", "Dissimilarity", binary.dissimilarity, (0.0, 1.0), True,
+              batch_func=vectorized.dissimilarity)
 )
-GINI = register(IndexSpec("G", "Gini", binary.gini, (0.0, 1.0), True))
+GINI = register(IndexSpec("G", "Gini", binary.gini, (0.0, 1.0), True,
+                          batch_func=vectorized.gini))
 INFORMATION = register(
-    IndexSpec("H", "Information", binary.information, (0.0, 1.0), True)
+    IndexSpec("H", "Information", binary.information, (0.0, 1.0), True,
+              batch_func=vectorized.information)
 )
 ISOLATION = register(
-    IndexSpec("Iso", "Isolation", binary.isolation, (0.0, 1.0), True)
+    IndexSpec("Iso", "Isolation", binary.isolation, (0.0, 1.0), True,
+              batch_func=vectorized.isolation)
 )
 INTERACTION = register(
-    IndexSpec("Int", "Interaction", binary.interaction, (0.0, 1.0), False)
+    IndexSpec("Int", "Interaction", binary.interaction, (0.0, 1.0), False,
+              batch_func=vectorized.interaction)
 )
 ATKINSON = register(
     IndexSpec(
@@ -91,6 +165,7 @@ ATKINSON = register(
         partial(binary.atkinson, b=0.5),
         (0.0, 1.0),
         True,
+        batch_func=partial(vectorized.atkinson, b=0.5),
     )
 )
 

@@ -119,6 +119,11 @@ def atkinson(counts: UnitCounts, b: float = 0.5) -> float:
     p_overall = counts.proportion
     terms = np.power(1 - p, 1 - b) * np.power(p, b) * counts.t
     inner = float(terms.sum()) / (p_overall * counts.total)
+    # np.power, not the Python ``**``: NumPy's pow special-cases small
+    # integral exponents (e.g. b=0.5 -> exponent 2.0 -> x*x) while libm's
+    # pow does not, and the batched kernel must match bit for bit.
     return float(
-        1.0 - (p_overall / (1 - p_overall)) * inner ** (1.0 / (1.0 - b))
+        1.0
+        - (p_overall / (1 - p_overall))
+        * np.power(np.float64(inner), 1.0 / (1.0 - b))
     )

@@ -253,6 +253,75 @@ class TransactionDatabase:
             counts[nonempty] = np.add.reduceat(grouped, starts[nonempty])
         return counts
 
+    def unit_counts_many(
+        self,
+        covers: "Sequence[Cover | np.ndarray]",
+        max_chunk_indices: int = 1 << 22,
+    ) -> np.ndarray:
+        """Per-unit counts of many covers in one grouped pass.
+
+        Returns an ``(len(covers), n_units)`` int64 matrix whose row
+        ``j`` equals ``unit_counts(covers[j])`` — the minority-count
+        matrix the columnar cube fill batches its index kernels over.
+        Instead of N separate permute-and-reduce passes (each a full
+        int64 permutation plus ``reduceat``), every cover contributes
+        the unit labels of its covered rows with one masked gather —
+        still an O(n_rows) mask scan per cover, but the cheapest one —
+        and a chunk of covers is then counted with a single flat
+        ``bincount`` over combined ``(cover, unit)`` keys, whose cost
+        is proportional to the covers' total support.  Chunking bounds
+        the gather *scratch* at ``max_chunk_indices`` labels (default
+        ~4M, i.e. ~32 MB); the returned matrix itself still scales
+        with ``len(covers) * n_units``, so callers needing bounded
+        peak memory batch their cover lists (as the columnar cube
+        fill does per context group).
+        """
+        if self.units is None:
+            raise MiningError("transaction database has no unit labels")
+        covers = list(covers)
+        n = len(self)
+        n_units = self.n_units
+        out = np.zeros((len(covers), n_units), dtype=np.int64)
+
+        def flush(start: int, parts: "list[np.ndarray]") -> None:
+            k = len(parts)
+            lengths = np.fromiter(
+                (len(p) for p in parts), dtype=np.int64, count=k
+            )
+            flat = np.concatenate(parts)
+            base = np.repeat(
+                np.arange(k, dtype=np.int64) * n_units, lengths
+            )
+            out[start:start + k] = np.bincount(
+                base + flat, minlength=k * n_units
+            ).reshape(k, n_units)
+
+        chunk_start = 0
+        chunk_parts: list[np.ndarray] = []
+        budget = 0
+        for idx, cover in enumerate(covers):
+            flags = (
+                cover.to_bools() if isinstance(cover, Cover)
+                else np.asarray(cover, dtype=bool)
+            )
+            if len(flags) != n:
+                raise MiningError(
+                    f"cover of {len(flags)} transactions does not "
+                    f"match database of {n}"
+                )
+            labels = self.units[flags]
+            # Flush the pending chunk before this cover would overflow
+            # it: flushed chunks never exceed the scratch bound unless
+            # one cover alone does.
+            if chunk_parts and budget + len(labels) > max_chunk_indices:
+                flush(chunk_start, chunk_parts)
+                chunk_start, chunk_parts, budget = idx, [], 0
+            chunk_parts.append(labels)
+            budget += len(labels)
+        if chunk_parts:
+            flush(chunk_start, chunk_parts)
+        return out
+
 
 def encode_table(
     table: Table, schema: Schema, codec: str = "packed"

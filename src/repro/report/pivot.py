@@ -5,6 +5,12 @@ region (CA axis), each cell holding a dissimilarity value or "-".  The
 :func:`pivot` helper renders any two coordinate attributes against each
 other (with ``⋆`` rows/columns included), fixing the remaining
 coordinates.
+
+Each grid entry is one :meth:`~repro.cube.cube.SegregationCube.value`
+call, which routes through the cube's columnar store — a key lookup
+plus a single array read (falling back to the lazy resolver for
+non-materialised coordinates); no per-cell objects are built while
+rendering.
 """
 
 from __future__ import annotations

@@ -88,6 +88,52 @@ class TestTransactionDatabase:
         with pytest.raises(MiningError, match="no unit labels"):
             db.unit_counts(np.array([True]))
 
+    def test_unit_counts_many_matches_single(self, final_table, schema):
+        db = encode_table(final_table, schema)
+        covers = [db.cover_of([i]) for i in range(db.n_items)]
+        covers.append(db.full_cover())
+        many = db.unit_counts_many(covers)
+        assert many.shape == (len(covers), db.n_units)
+        for j, cover in enumerate(covers):
+            assert many[j].tolist() == db.unit_counts(cover).tolist()
+
+    def test_unit_counts_many_chunking_is_invisible(self):
+        rng = np.random.default_rng(5)
+        units = rng.integers(0, 9, 400)
+        db = TransactionDatabase(
+            [(0,) if flag else () for flag in rng.random(400) < 0.5],
+            _tiny_dictionary(),
+            units=units,
+        )
+        covers = [rng.random(400) < p for p in (0.0, 0.1, 0.5, 0.9, 1.0)]
+        # A one-index chunk budget forces one chunk per cover.
+        tiny = db.unit_counts_many(covers, max_chunk_indices=1)
+        one = db.unit_counts_many(covers)
+        assert (tiny == one).all()
+        for j, cover in enumerate(covers):
+            assert (one[j] == db.unit_counts(cover)).all()
+
+    def test_unit_counts_many_empty_input(self, final_table, schema):
+        db = encode_table(final_table, schema)
+        assert db.unit_counts_many([]).shape == (0, db.n_units)
+
+    def test_unit_counts_many_length_mismatch(self, final_table, schema):
+        db = encode_table(final_table, schema)
+        with pytest.raises(MiningError, match="does not match"):
+            db.unit_counts_many([np.array([True])])
+
+    def test_unit_counts_many_without_units_raises(self):
+        db = TransactionDatabase([(0,)], _tiny_dictionary())
+        with pytest.raises(MiningError, match="no unit labels"):
+            db.unit_counts_many([np.array([True])])
+
+    def test_unit_counts_many_validates_even_with_zero_units(self):
+        db = TransactionDatabase([], _tiny_dictionary(),
+                                 units=np.zeros(0, dtype=np.int64))
+        with pytest.raises(MiningError, match="does not match"):
+            db.unit_counts_many([np.array([True])])
+        assert db.unit_counts_many([]).shape == (0, 0)
+
     def test_unit_label_length_checked(self):
         with pytest.raises(MiningError):
             TransactionDatabase([(0,)], _tiny_dictionary(),
