@@ -25,7 +25,7 @@ from repro.data.synthetic import random_final_table
 from repro.itemsets.transactions import encode_table
 from repro.report.text import render_table
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import write_bench_json, write_result
 
 FILL_ROWS = 120_000
 TOPK_REPS = 5
@@ -140,6 +140,17 @@ def test_cube_fill_columnar_vs_percell(benchmark):
             ["stage", "rows", "time (ms)", "speedup", "cells"], rows
         ),
     )
+    write_bench_json("E17", {
+        "rows": FILL_ROWS,
+        "cells": len(columnar_cube),
+        "mine_ms": mine_seconds * 1e3,
+        "fill_percell_ms": percell_seconds * 1e3,
+        "fill_columnar_ms": columnar_seconds * 1e3,
+        "fill_speedup": fill_speedup,
+        "top10_object_sort_ms": reference_seconds * 1e3,
+        "top10_argpartition_ms": topk_seconds * 1e3,
+        "top10_speedup": topk_speedup,
+    })
     assert fill_speedup >= 2.0, (
         f"columnar fill only {fill_speedup:.2f}x faster than per-cell"
     )

@@ -1,0 +1,134 @@
+"""E18 — snapshot store and zero-rebuild serving vs rebuild-from-rows.
+
+PR 3 made the cube columnar; this experiment pins the payoff of the
+snapshot store built on top of it: once a cube is dumped to disk (one
+``.npy`` per column plus a JSON manifest), an exploration session never
+pays the ETL → mining → fill cost again — it reopens the snapshot,
+memory-mapped, and queries it directly.
+
+Measured on the E17 dataset (120k rows, same thresholds):
+
+* ``rebuild``    — encode + mine + fill from rows (what every session
+  paid before the store existed);
+* ``dump``       — snapshot write;
+* ``cold open``  — ``open_snapshot(mmap=True)`` + first ``top(10)``
+  (manifest parse, mmap setup, lazy key decode, ranking);
+* ``warm open``  — the same open + top once OS caches are hot, i.e.
+  steady-state serving start;
+* ``warm top``   — ``top(10)`` on an already-open snapshot.
+
+Assertions pin the contract: the reopened cube is cell-identical to the
+live one (``check_same_cells`` at atol=0) with identical top/slice
+output, and warm open + top-10 is at least 50x faster than the rebuild.
+Numbers land in ``results/E18_snapshot_serving.txt`` (paper-style
+table) and ``results/BENCH_E18.json`` (machine-readable trajectory).
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.cube.builder import SegregationDataCubeBuilder
+from repro.cube.cube import check_same_cells
+from repro.store.snapshot import dump_snapshot, open_snapshot
+from repro.report.text import render_table
+
+from benchmarks.bench_cube_fill import FILL_ROWS, LIMITS, _fill_table
+from benchmarks.conftest import write_bench_json, write_result
+
+MIN_SPEEDUP = 50.0
+WARM_REPS = 5
+
+
+def _open_and_top(path: Path):
+    cube = open_snapshot(path, mmap=True)
+    return cube, cube.top("D", k=10, min_minority=2 * LIMITS["min_minority"])
+
+
+def test_snapshot_write_open_serve(benchmark, tmp_path):
+    """Warm mmap-open + top-10 must beat rebuild-from-rows by >= 50x."""
+    table, schema = _fill_table(FILL_ROWS)
+    builder = SegregationDataCubeBuilder(**LIMITS)
+    snap = tmp_path / "e18_snapshot"
+
+    def run():
+        start = time.perf_counter()
+        live = builder.build(table, schema)
+        rebuild_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        dump_snapshot(live, snap)
+        dump_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        cold_cube, cold_top = _open_and_top(snap)
+        cold_seconds = time.perf_counter() - start
+        return live, cold_cube, cold_top, rebuild_seconds, dump_seconds, cold_seconds
+
+    (live, cold_cube, cold_top, rebuild_seconds, dump_seconds,
+     cold_seconds) = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Steady-state serving start: open + first ranking with hot caches.
+    warm_open_seconds = float("inf")
+    for _ in range(WARM_REPS):
+        start = time.perf_counter()
+        warm_cube, warm_top = _open_and_top(snap)
+        warm_open_seconds = min(warm_open_seconds,
+                                time.perf_counter() - start)
+
+    # Query latency once a snapshot is already open.
+    start = time.perf_counter()
+    for _ in range(WARM_REPS):
+        served_top = warm_cube.top(
+            "D", k=10, min_minority=2 * LIMITS["min_minority"]
+        )
+    warm_top_seconds = (time.perf_counter() - start) / WARM_REPS
+
+    # Parity: identical cells, identical query output, live vs snapshot.
+    live_top = live.top("D", k=10, min_minority=2 * LIMITS["min_minority"])
+    assert check_same_cells(live, cold_cube, atol=0.0) == []
+    assert [s.key for s in cold_top] == [s.key for s in live_top]
+    assert [s.key for s in warm_top] == [s.key for s in live_top]
+    assert [s.key for s in served_top] == [s.key for s in live_top]
+    sliced_live = live.slice(ca={"r": "r0"})
+    sliced_snap = warm_cube.slice(ca={"r": "r0"})
+    assert [s.key for s in sliced_live] == [s.key for s in sliced_snap]
+
+    snapshot_bytes = sum(
+        f.stat().st_size for f in snap.iterdir() if f.is_file()
+    )
+    open_speedup = rebuild_seconds / warm_open_seconds
+
+    rows = [
+        ["rebuild from rows (encode+mine+fill)", rebuild_seconds * 1e3, 1.0],
+        ["snapshot dump", dump_seconds * 1e3, ""],
+        ["cold mmap open + top-10", cold_seconds * 1e3,
+         rebuild_seconds / cold_seconds],
+        ["warm mmap open + top-10", warm_open_seconds * 1e3, open_speedup],
+        ["warm top-10 (open snapshot)", warm_top_seconds * 1e3,
+         rebuild_seconds / warm_top_seconds],
+    ]
+    write_result(
+        "E18_snapshot_serving",
+        f"Snapshot store vs rebuild at {FILL_ROWS} rows, "
+        f"{len(live)} cells, {snapshot_bytes} snapshot bytes "
+        "(cell parity asserted, atol=0)\n"
+        + render_table(["stage", "time (ms)", "speedup vs rebuild"], rows),
+    )
+    write_bench_json("E18", {
+        "rows": FILL_ROWS,
+        "cells": len(live),
+        "snapshot_bytes": snapshot_bytes,
+        "rebuild_ms": rebuild_seconds * 1e3,
+        "dump_ms": dump_seconds * 1e3,
+        "cold_open_top10_ms": cold_seconds * 1e3,
+        "warm_open_top10_ms": warm_open_seconds * 1e3,
+        "warm_top10_ms": warm_top_seconds * 1e3,
+        "warm_open_speedup_vs_rebuild": open_speedup,
+        "min_speedup_required": MIN_SPEEDUP,
+    })
+    assert open_speedup >= MIN_SPEEDUP, (
+        f"warm mmap open + top-10 only {open_speedup:.1f}x faster than "
+        f"rebuild-from-rows (need >= {MIN_SPEEDUP}x)"
+    )

@@ -3,11 +3,16 @@
 Every benchmark regenerates one of the paper's figures/scenarios (see
 DESIGN.md §4).  Besides the pytest-benchmark timings, each bench writes
 its paper-style table to ``benchmarks/results/<experiment>.txt`` so the
-regenerated rows/series can be inspected and diffed after the run.
+regenerated rows/series can be inspected and diffed after the run, and
+(for experiments tracked over time) a machine-readable companion
+``benchmarks/results/BENCH_<experiment>.json`` so the perf trajectory
+can be plotted and regressed on without parsing text tables.
 """
 
 from __future__ import annotations
 
+import json
+import platform
 from pathlib import Path
 
 import pytest
@@ -24,6 +29,26 @@ def write_result(name: str, text: str) -> Path:
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
     print(f"\n=== {name} ===\n{text}\n[written to {path}]")
+    return path
+
+
+def write_bench_json(experiment: str, payload: "dict[str, object]") -> Path:
+    """Persist one experiment's machine-readable numbers.
+
+    ``experiment`` is the short id (``E18``); the payload lands in
+    ``results/BENCH_<experiment>.json`` with environment fields added,
+    one self-contained JSON object per experiment.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{experiment}.json"
+    record = {
+        "experiment": experiment,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        **payload,
+    }
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"[bench json written to {path}]")
     return path
 
 

@@ -25,6 +25,8 @@ Subpackages
 ``repro.etl``       tables, schemas, CSV I/O, temporal membership
 ``repro.data``      synthetic case-study generators
 ``repro.report``    xlsx writer, pivots, radial series
+``repro.store``     versioned on-disk cube snapshots (dump/open, mmap)
+``repro.serve``     zero-rebuild concurrent query serving + CLI
 ``repro.core``      pipeline orchestration, scenarios, CLI
 """
 
@@ -46,6 +48,7 @@ from repro.cube.builder import SegregationDataCubeBuilder, build_cube
 from repro.cube.cube import SegregationCube
 from repro.cube.explorer import simpson_reversals, top_contexts
 from repro.cube.naive import NaiveCubeBuilder
+from repro.cube.protocol import CubeLike
 from repro.data.estonia import EstoniaConfig, generate_estonia
 from repro.data.italy import BoardsDataset, ItalyConfig, generate_italy
 from repro.data.schools import generate_schools
@@ -53,6 +56,8 @@ from repro.errors import ReproError
 from repro.etl.schema import Schema
 from repro.etl.table import Table
 from repro.indexes.counts import UnitCounts
+from repro.serve.service import CubeService
+from repro.store.snapshot import dump_snapshot, open_snapshot, validate_snapshot
 
 __version__ = "1.0.0"
 
@@ -60,6 +65,8 @@ __all__ = [
     "BoardsDataset",
     "ClusteringConfig",
     "CubeConfig",
+    "CubeLike",
+    "CubeService",
     "EstoniaConfig",
     "ItalyConfig",
     "NaiveCubeBuilder",
@@ -77,13 +84,16 @@ __all__ = [
     "__version__",
     "build_cube",
     "cube_workbook",
+    "dump_snapshot",
     "generate_estonia",
     "generate_italy",
     "generate_schools",
+    "open_snapshot",
     "run_bipartite",
     "run_director_graph",
     "run_tabular",
     "segregation_trend",
     "simpson_reversals",
     "top_contexts",
+    "validate_snapshot",
 ]

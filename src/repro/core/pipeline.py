@@ -15,6 +15,7 @@ from pathlib import Path
 from repro.core.config import PipelineConfig
 from repro.cube.builder import SegregationDataCubeBuilder
 from repro.cube.cube import SegregationCube
+from repro.cube.protocol import CubeLike
 from repro.data.italy import BoardsDataset
 from repro.errors import ConfigError
 from repro.etl.builder import build_final_table
@@ -117,8 +118,11 @@ class SCubePipeline:
 
     # -- module 5: Visualizer -----------------------------------------
 
-    def visualize(self, cube: SegregationCube, path: "str | Path") -> Path:
-        """Export the cube to an OOXML workbook (the ``scube.xlsx`` output)."""
+    def visualize(self, cube: CubeLike, path: "str | Path") -> Path:
+        """Export the cube to an OOXML workbook (the ``scube.xlsx`` output).
+
+        Accepts a live cube or an opened snapshot (:class:`CubeLike`).
+        """
         workbook = cube_workbook(cube)
         return workbook.save(path)
 
@@ -162,8 +166,12 @@ def group_attribute_table(dataset: BoardsDataset) -> NodeAttributeTable:
     return NodeAttributeTable.from_columns(len(dataset.groups), columns)
 
 
-def cube_workbook(cube: SegregationCube) -> Workbook:
-    """Build the Visualizer workbook: cube sheet plus a summary sheet."""
+def cube_workbook(cube: CubeLike) -> Workbook:
+    """Build the Visualizer workbook: cube sheet plus a summary sheet.
+
+    Works over any :class:`CubeLike` — a freshly built cube or a
+    snapshot reopened by :func:`repro.store.open_snapshot`.
+    """
     workbook = rows_to_workbook(cube.to_rows(), sheet_name="cube")
     summary = workbook.add_sheet("summary")
     summary.append_header(["key", "value"])

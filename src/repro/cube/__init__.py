@@ -32,7 +32,8 @@ from repro.cube.cube import (
     SegregationCube,
     check_same_cells,
 )
-from repro.cube.table import CellTable
+from repro.cube.protocol import CubeLike
+from repro.cube.table import CellTable, TableArrays
 from repro.cube.explorer import (
     Discovery,
     Reversal,
@@ -47,12 +48,14 @@ __all__ = [
     "CellKey",
     "CellStats",
     "CellTable",
+    "CubeLike",
     "CubeMetadata",
     "Discovery",
     "NaiveCubeBuilder",
     "Reversal",
     "STAR",
     "SegregationCube",
+    "TableArrays",
     "SegregationDataCubeBuilder",
     "build_cube",
     "check_same_cells",

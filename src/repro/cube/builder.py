@@ -189,6 +189,33 @@ class SegregationDataCubeBuilder:
         return SegregationCube(store, db.dictionary, metadata,
                                resolver=resolver)
 
+    def build_snapshot(
+        self,
+        table: Table,
+        schema: Schema,
+        path,
+        mmap: bool = True,
+    ) -> SegregationCube:
+        """Build the cube, persist it, and return the *snapshot-backed* cube.
+
+        The expensive ETL → mining → fill work runs once; what is
+        returned reads from the on-disk columns exactly as any later
+        :func:`repro.store.open_snapshot` caller will (so serving what
+        was just built and serving a reopened snapshot are the same
+        code path).
+
+        Note for ``mode="closed"``: snapshots carry cells, not covers,
+        so the returned cube has **no lazy resolver** — point queries
+        for frequent-but-not-closed coordinates answer None/nan.  Use
+        :meth:`build` (and :meth:`~repro.cube.cube.SegregationCube.dump`
+        separately) when the live resolver semantics are needed.
+        """
+        from repro.store.snapshot import dump_snapshot, open_snapshot
+
+        cube = self.build(table, schema)
+        dump_snapshot(cube, path)
+        return open_snapshot(path, mmap=mmap)
+
     def mine_coordinates(self, db: TransactionDatabase) -> MinedCoordinates:
         """Run the two mining passes; no cells are filled yet.
 
@@ -500,6 +527,17 @@ class _LazyResolver:
         self._minsup_pop = minsup_pop
         self._minsup_min = minsup_min
 
+    def warm(self) -> None:
+        """Force the database's lazily built shared state.
+
+        The item covers and the unit→rows grouping are cached on first
+        use without a lock; building them up front (the serving layer
+        calls this) makes every later resolver call a pure read, safe
+        for concurrent reader threads.
+        """
+        self._db.covers()
+        self._db.unit_counts(self._db.full_cover())
+
     def __call__(self, key: CellKey) -> "CellStats | None":
         sa_part, ca_part = key
         context_cover = self._db.cover_of(ca_part)
@@ -525,8 +563,13 @@ def build_cube(
     mode: str = "all",
     codec: str = "packed",
     engine: str = "columnar",
+    snapshot_path=None,
 ) -> SegregationCube:
-    """One-call convenience wrapper around the builder."""
+    """One-call convenience wrapper around the builder.
+
+    When ``snapshot_path`` is given the built cube is also persisted
+    there as a reopenable snapshot (see :mod:`repro.store`).
+    """
     builder = SegregationDataCubeBuilder(
         indexes=indexes,
         min_population=min_population,
@@ -537,4 +580,9 @@ def build_cube(
         codec=codec,
         engine=engine,
     )
-    return builder.build(table, schema)
+    cube = builder.build(table, schema)
+    if snapshot_path is not None:
+        from repro.store.snapshot import dump_snapshot
+
+        dump_snapshot(cube, snapshot_path)
+    return cube

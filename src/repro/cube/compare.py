@@ -16,12 +16,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.cube.coordinates import decode_part
-from repro.cube.cube import SegregationCube
+from repro.cube.protocol import CubeLike
 
 AlignedKey = tuple[tuple[tuple[str, str], ...], tuple[tuple[str, str], ...]]
 
 
-def _aligned_key(cube: SegregationCube, key) -> AlignedKey:
+def _aligned_key(cube: CubeLike, key) -> AlignedKey:
     sa, ca = key
 
     def decode(items) -> tuple[tuple[str, str], ...]:
@@ -63,8 +63,8 @@ class CellComparison:
 
 
 def compare_cubes(
-    left: SegregationCube,
-    right: SegregationCube,
+    left: CubeLike,
+    right: CubeLike,
     index_name: str = "D",
     min_minority: int = 0,
 ) -> "list[CellComparison]":

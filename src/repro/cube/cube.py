@@ -14,6 +14,12 @@ Cubes built in ``closed`` mode materialise only closed coordinates; an
 attached *resolver* (provided by the builder) answers point queries for
 any other frequent coordinate exactly, by intersecting item covers on
 demand.
+
+A built cube can be persisted with :meth:`SegregationCube.dump` (or
+:func:`repro.store.dump_snapshot`) and reopened — optionally
+memory-mapped — by :func:`repro.store.open_snapshot` without re-running
+ETL, mining or fill; the reopened cube answers every query above from
+the stored columns (no resolver: snapshots carry cells, not covers).
 """
 
 from __future__ import annotations
@@ -280,6 +286,20 @@ class SegregationCube:
         """Human-readable address of a cell."""
         return describe_key(key, self.dictionary)
 
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def dump(self, path) -> "object":
+        """Persist this cube as an on-disk snapshot directory.
+
+        Convenience wrapper around :func:`repro.store.dump_snapshot`;
+        reopen with :func:`repro.store.open_snapshot` (no rebuild).
+        """
+        from repro.store.snapshot import dump_snapshot
+
+        return dump_snapshot(self, path)
+
     def __repr__(self) -> str:
         return (
             f"SegregationCube({len(self._table)} cells, "
@@ -287,35 +307,37 @@ class SegregationCube:
         )
 
 
-def check_same_cells(a: SegregationCube, b: SegregationCube,
+def check_same_cells(a: "SegregationCube", b: "SegregationCube",
                      atol: float = 1e-9) -> "list[str]":
     """Compare two cubes cell-by-cell; return human-readable differences.
 
-    Used by the equivalence tests (itemset-driven vs naive builder) and
-    by the ablation benchmarks; an empty list means the cubes agree.
+    Used by the equivalence tests (itemset-driven vs naive builder), by
+    the ablation benchmarks and by the snapshot parity checks (live
+    cube vs reopened snapshot); an empty list means the cubes agree.
+    Shared cells are located with O(1) :meth:`CellTable.row_of` lookups
+    and compared straight off the columns — no per-cell objects.
     """
     problems = []
+    ta, tb = a.table, b.table
     keys_a, keys_b = set(a.keys()), set(b.keys())
     for key in keys_a - keys_b:
         problems.append(f"only in first: {a.describe(key)}")
     for key in keys_b - keys_a:
         problems.append(f"only in second: {b.describe(key)}")
     for key in keys_a & keys_b:
-        cell_a = a.cell_by_key(key)
-        cell_b = b.cell_by_key(key)
-        assert cell_a is not None and cell_b is not None
-        if (cell_a.population, cell_a.minority) != (
-            cell_b.population,
-            cell_b.minority,
-        ):
+        i, j = ta.row_of(key), tb.row_of(key)
+        assert i is not None and j is not None
+        counts_a = (int(ta.population[i]), int(ta.minority[i]))
+        counts_b = (int(tb.population[j]), int(tb.minority[j]))
+        if counts_a != counts_b:
             problems.append(
                 f"{a.describe(key)}: counts differ "
-                f"({cell_a.population},{cell_a.minority}) vs "
-                f"({cell_b.population},{cell_b.minority})"
+                f"({counts_a[0]},{counts_a[1]}) vs "
+                f"({counts_b[0]},{counts_b[1]})"
             )
             continue
         for name in a.metadata.index_names:
-            va, vb = cell_a.value(name), cell_b.value(name)
+            va, vb = ta.value_at(i, name), tb.value_at(j, name)
             if math.isnan(va) and math.isnan(vb):
                 continue
             if math.isnan(va) != math.isnan(vb) or abs(va - vb) > atol:

@@ -11,15 +11,26 @@ cube keeps parallel columns over all cells at once:
 * ``population`` / ``minority`` / ``n_units`` — int64 count columns;
 * one float64 column per segregation index.
 
-Query primitives (:meth:`superset_mask`, :meth:`top_rows`) are array
-operations — boolean masks and ``argpartition`` top-k — and
-:class:`CellStats` survives as a lazily materialised per-cell view
-(:meth:`stats`), so the object-per-cell API keeps working unchanged.
+The arrays live behind a thin storage record (:class:`TableArrays`), so
+the same table — and the same query primitives (:meth:`superset_mask`,
+:meth:`top_rows`, :meth:`stats`) — runs over arrays it owns (a freshly
+built cube) or over read-only memory-mapped arrays reopened from a
+:mod:`repro.store` snapshot.  In the snapshot case the keys and the
+hash index are *derived* state: keys are decoded lazily from the packed
+bitmasks, and the index is built on first point lookup (both under a
+lock, so concurrent readers are safe).
+
+Query primitives are array operations — boolean masks and
+``argpartition`` top-k — and :class:`CellStats` survives as a lazily
+materialised per-cell view (:meth:`stats`), so the object-per-cell API
+keeps working unchanged.
 """
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
 from itertools import chain
 
 import numpy as np
@@ -42,6 +53,77 @@ def pack_items(items: Iterable[int], n_words: int) -> np.ndarray:
     return mask
 
 
+def unpack_masks(masks: np.ndarray) -> "list[frozenset[int]]":
+    """Decode each row of a packed mask matrix back into an itemset.
+
+    The inverse of :meth:`CellTable._pack_parts`, used when a table is
+    reopened from stored arrays and its keys must be reconstructed.
+    Endian-safe: bits are extracted by shifting, never by reinterpreting
+    the word bytes.
+    """
+    n, n_words = masks.shape
+    out: "list[list[int]]" = [[] for _ in range(n)]
+    shifts = np.arange(_WORD_BITS, dtype=np.uint64)
+    one = np.uint64(1)
+    for word in range(n_words):
+        column = np.asarray(masks[:, word])
+        if not column.any():
+            continue
+        bits = (column[:, None] >> shifts) & one
+        rows, offsets = np.nonzero(bits)
+        base = word * _WORD_BITS
+        for row, offset in zip(rows.tolist(), offsets.tolist()):
+            out[row].append(base + offset)
+    return [frozenset(items) for items in out]
+
+
+def _mask_sizes(masks: np.ndarray) -> np.ndarray:
+    """Per-row popcount of a packed mask matrix (itemset sizes)."""
+    n = len(masks)
+    if n == 0 or masks.size == 0:
+        return np.zeros(n, dtype=np.int64)
+    sizes = np.zeros(n, dtype=np.int64)
+    shifts = np.arange(_WORD_BITS, dtype=np.uint64)
+    one = np.uint64(1)
+    for word in range(masks.shape[1]):
+        column = np.asarray(masks[:, word])
+        bits = (column[:, None] >> shifts) & one
+        sizes += bits.sum(axis=1).astype(np.int64)
+    return sizes
+
+
+@dataclass(frozen=True)
+class TableArrays:
+    """The raw column arrays of one :class:`CellTable`.
+
+    A plain record with no behaviour: the table's query primitives only
+    read these attributes, so the arrays can equally be freshly
+    allocated (builder path) or read-only ``np.memmap`` views over a
+    snapshot directory (store path).
+    """
+
+    population: np.ndarray
+    minority: np.ndarray
+    n_units: np.ndarray
+    sa_masks: np.ndarray
+    ca_masks: np.ndarray
+    columns: "dict[str, np.ndarray]" = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        n = len(self.population)
+        for label, arr in (
+            ("minority", self.minority),
+            ("n_units", self.n_units),
+            ("sa_masks", self.sa_masks),
+            ("ca_masks", self.ca_masks),
+            *self.columns.items(),
+        ):
+            if len(arr) != n:
+                raise ValueError(
+                    f"column {label!r} has {len(arr)} rows for {n} cells"
+                )
+
+
 class CellTable:
     """Columnar storage of cube cells (one array element per cell)."""
 
@@ -54,42 +136,59 @@ class CellTable:
         columns: "dict[str, np.ndarray]",
         n_items: int,
     ):
-        self.keys: list[CellKey] = list(keys)
-        n = len(self.keys)
-        self.population = np.asarray(population, dtype=np.int64)
-        self.minority = np.asarray(minority, dtype=np.int64)
-        self.n_units = np.asarray(n_units, dtype=np.int64)
-        self.columns = {
-            name: np.asarray(col, dtype=np.float64)
-            for name, col in columns.items()
-        }
-        for label, arr in (
-            ("population", self.population),
-            ("minority", self.minority),
-            ("n_units", self.n_units),
-            *self.columns.items(),
-        ):
-            if len(arr) != n:
+        keys = list(keys)
+        n = len(keys)
+        for label, col in columns.items():
+            if len(col) != n:
                 raise ValueError(
-                    f"column {label!r} has {len(arr)} rows for {n} cells"
+                    f"column {label!r} has {len(col)} rows for {n} cells"
                 )
-        self._row_of = {key: i for i, key in enumerate(self.keys)}
-        self.sa_sizes = np.fromiter(
-            (len(k[0]) for k in self.keys), dtype=np.int64, count=n
-        )
-        self.ca_sizes = np.fromiter(
-            (len(k[1]) for k in self.keys), dtype=np.int64, count=n
-        )
         # Size the key bitmasks to the largest id actually present:
         # hand-built cubes may carry keys beyond the dictionary, which
         # the old dict-backed store accepted.
         max_item = max(
-            (item for key in self.keys for part in key for item in part),
+            (item for key in keys for part in key for item in part),
             default=-1,
         )
         n_words = _n_words(max(n_items, max_item + 1))
-        self.sa_masks = self._pack_parts([k[0] for k in self.keys], n_words)
-        self.ca_masks = self._pack_parts([k[1] for k in self.keys], n_words)
+        arrays = TableArrays(
+            population=np.asarray(population, dtype=np.int64),
+            minority=np.asarray(minority, dtype=np.int64),
+            n_units=np.asarray(n_units, dtype=np.int64),
+            sa_masks=self._pack_parts([k[0] for k in keys], n_words),
+            ca_masks=self._pack_parts([k[1] for k in keys], n_words),
+            columns={
+                name: np.asarray(col, dtype=np.float64)
+                for name, col in columns.items()
+            },
+        )
+        self._attach(arrays, keys=keys)
+
+    @classmethod
+    def from_arrays(
+        cls, arrays: TableArrays, keys: "Sequence[CellKey] | None" = None
+    ) -> "CellTable":
+        """Wrap already-built (possibly memory-mapped) column arrays.
+
+        The snapshot-open path: no packing happens; when ``keys`` is
+        omitted they are decoded lazily from the stored bitmasks the
+        first time key-level access is needed.
+        """
+        self = cls.__new__(cls)
+        self._attach(arrays, keys=list(keys) if keys is not None else None)
+        return self
+
+    def _attach(
+        self, arrays: TableArrays, keys: "list[CellKey] | None"
+    ) -> None:
+        """Bind the storage record; derived state stays lazy."""
+        self._arrays = arrays
+        self._keys = keys
+        self._index: "dict[CellKey, int] | None" = None
+        # Sizes stay lazy on both paths: _ensure_sizes derives them from
+        # the keys when decoded, from the mask popcounts otherwise.
+        self._sizes: "tuple[np.ndarray, np.ndarray] | None" = None
+        self._lock = threading.Lock()
 
     @staticmethod
     def _pack_parts(
@@ -146,18 +245,112 @@ class CellTable:
         )
 
     # ------------------------------------------------------------------
+    # Storage access
+    # ------------------------------------------------------------------
+
+    @property
+    def arrays(self) -> TableArrays:
+        """The underlying storage record (owned or mmapped)."""
+        return self._arrays
+
+    @property
+    def population(self) -> np.ndarray:
+        return self._arrays.population
+
+    @property
+    def minority(self) -> np.ndarray:
+        return self._arrays.minority
+
+    @property
+    def n_units(self) -> np.ndarray:
+        return self._arrays.n_units
+
+    @property
+    def sa_masks(self) -> np.ndarray:
+        return self._arrays.sa_masks
+
+    @property
+    def ca_masks(self) -> np.ndarray:
+        return self._arrays.ca_masks
+
+    @property
+    def columns(self) -> "dict[str, np.ndarray]":
+        return self._arrays.columns
+
+    @property
+    def keys(self) -> "list[CellKey]":
+        """Cell keys by row (decoded from the bitmasks when reopened)."""
+        if self._keys is None:
+            with self._lock:
+                if self._keys is None:
+                    sa = unpack_masks(self._arrays.sa_masks)
+                    ca = unpack_masks(self._arrays.ca_masks)
+                    self._keys = list(zip(sa, ca))
+        return self._keys
+
+    @property
+    def sa_sizes(self) -> np.ndarray:
+        """Per-cell SA itemset size."""
+        return self._ensure_sizes()[0]
+
+    @property
+    def ca_sizes(self) -> np.ndarray:
+        """Per-cell CA itemset size."""
+        return self._ensure_sizes()[1]
+
+    def _ensure_sizes(self) -> "tuple[np.ndarray, np.ndarray]":
+        if self._sizes is None:
+            with self._lock:
+                if self._sizes is None:
+                    keys = self._keys
+                    if keys is not None:
+                        # Keys already decoded: sizes are plain lengths,
+                        # no second bit-expansion over the masks.
+                        n = len(keys)
+                        self._sizes = (
+                            np.fromiter((len(k[0]) for k in keys),
+                                        dtype=np.int64, count=n),
+                            np.fromiter((len(k[1]) for k in keys),
+                                        dtype=np.int64, count=n),
+                        )
+                    else:
+                        self._sizes = (
+                            _mask_sizes(self._arrays.sa_masks),
+                            _mask_sizes(self._arrays.ca_masks),
+                        )
+        return self._sizes
+
+    def _ensure_index(self) -> "dict[CellKey, int]":
+        if self._index is None:
+            keys = self.keys
+            with self._lock:
+                if self._index is None:
+                    self._index = {key: i for i, key in enumerate(keys)}
+        return self._index
+
+    def warm(self) -> "CellTable":
+        """Force-build all lazy derived state (keys, sizes, hash index).
+
+        Called by the serving layer before the table is shared across
+        threads: afterwards every query path is read-only.
+        """
+        self._ensure_index()
+        self._ensure_sizes()
+        return self
+
+    # ------------------------------------------------------------------
     # Row access
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self.keys)
+        return len(self._arrays.population)
 
     def __contains__(self, key: CellKey) -> bool:
-        return key in self._row_of
+        return key in self._ensure_index()
 
     def row_of(self, key: CellKey) -> "int | None":
         """Row index of a cell key, or None when not materialised."""
-        return self._row_of.get(key)
+        return self._ensure_index().get(key)
 
     def stats(self, row: int) -> CellStats:
         """Materialise one row as a :class:`CellStats` view."""

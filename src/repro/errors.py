@@ -44,6 +44,16 @@ class IndexError_(ReproError):
 SegregationIndexError = IndexError_
 
 
+class SnapshotError(ReproError):
+    """Invalid, corrupted or version-incompatible cube snapshot.
+
+    Raised by :mod:`repro.store` when a snapshot directory cannot be
+    validated: missing or unparsable manifest, format-version mismatch,
+    missing column files, or column files whose dtype/shape disagree
+    with the manifest.
+    """
+
+
 class ReportError(ReproError):
     """Failure while producing an output report or workbook."""
 

@@ -2,13 +2,19 @@
 
 Benchmarks print paper-style tables with these helpers, so that the
 regenerated rows/series can be compared to the paper's figures at a
-glance.
+glance.  :func:`render_cube` is the cube-level entry point: it works on
+anything satisfying :class:`~repro.cube.protocol.CubeLike` — a live
+cube or an opened snapshot.
 """
 
 from __future__ import annotations
 
 import math
 from collections.abc import Iterable, Sequence
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.cube.protocol import CubeLike
 
 
 def format_value(value: object, digits: int = 3) -> str:
@@ -52,6 +58,11 @@ def render_dict_rows(rows: "list[dict[str, object]]", digits: int = 3) -> str:
     return render_table(
         header, [[row.get(col, "") for col in header] for row in rows], digits
     )
+
+
+def render_cube(cube: "CubeLike", digits: int = 3) -> str:
+    """Render a whole cube (live or snapshot-backed) as a text table."""
+    return render_dict_rows(cube.to_rows(), digits)
 
 
 def bar(value: float, scale: float = 1.0, width: int = 40) -> str:

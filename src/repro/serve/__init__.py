@@ -1,0 +1,20 @@
+"""Zero-rebuild query serving over cube snapshots.
+
+The exploration queries the paper demos — top-k discovery, slicing,
+roll-up/drill-down, point lookups, pivots — are all read-only array
+operations after PR 3.  This subsystem serves them over a snapshot
+written by :mod:`repro.store` without re-running ETL, mining or fill:
+
+* :class:`~repro.serve.service.CubeService` — the embeddable serving
+  facade: opens a snapshot (memory-mapped by default) or wraps a live
+  cube, warms the derived lookup structures once, and then answers
+  ``top`` / ``slice`` / ``children`` / ``parents`` / ``value_by_key`` /
+  ``pivot`` from any number of concurrent reader threads (nothing is
+  mutated after open).
+* ``python -m repro.serve <snapshot> top|slice|cell|pivot|info`` — a
+  small CLI over the same service, with text or ``--json`` output.
+"""
+
+from repro.serve.service import CubeService
+
+__all__ = ["CubeService"]

@@ -1,0 +1,263 @@
+"""CLI for serving a cube snapshot without rebuilding anything.
+
+Examples (after ``dump_snapshot(cube, "snap/")``)::
+
+    python -m repro.serve snap/ info
+    python -m repro.serve snap/ top --index D -k 10 --min-minority 20
+    python -m repro.serve snap/ slice --ca city=Rivertown
+    python -m repro.serve snap/ cell --sa ethnicity=minority
+    python -m repro.serve snap/ pivot --index D --rows ethnicity --cols city
+    python -m repro.serve snap/ top --json          # machine-readable
+    python -m repro.serve snap/ info --no-mmap      # load into memory
+
+Coordinates are ``attribute=value`` pairs, repeatable: ``--sa sex=F
+--sa age=young --ca region=north``.  All commands are read-only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+
+from repro.cube.cell import CellStats
+from repro.errors import ReproError
+from repro.report.text import render_cube, render_table
+from repro.serve.service import CubeService
+
+
+def _coordinates(pairs: "list[str] | None") -> "dict[str, object] | None":
+    if not pairs:
+        return None
+    out: "dict[str, object]" = {}
+    for pair in pairs:
+        attr, sep, value = pair.partition("=")
+        if not sep or not attr:
+            raise SystemExit(
+                f"bad coordinate {pair!r}: expected attribute=value"
+            )
+        if attr in out:  # repeated attribute -> multi-valued containment
+            previous = out[attr]
+            values = list(previous) if isinstance(previous, list) else [previous]
+            values.append(value)
+            out[attr] = values
+        else:
+            out[attr] = value
+    return out
+
+
+def _typed_coordinates(
+    service: CubeService, mapping: "dict[str, object] | None"
+) -> "dict[str, object] | None":
+    """Coerce CLI string values to the vocabulary's exact item types.
+
+    ``encode_query`` matches items by exact (attribute, value) pairs,
+    and vocabularies may hold int/bool/float values — ``--ca
+    n_boards=2`` must look up ``Item('n_boards', 2)``, not
+    ``Item('n_boards', '2')``.  Values whose string rendering matches
+    no vocabulary entry pass through unchanged (the unknown-coordinate
+    error stays informative).
+    """
+    if mapping is None:
+        return None
+    dictionary = service.cube.dictionary
+    typed: "dict[str, dict[str, object]]" = {}
+    for item_id in range(len(dictionary)):
+        item = dictionary.item(item_id)
+        typed.setdefault(item.attribute, {})[str(item.value)] = item.value
+    out: "dict[str, object]" = {}
+    for attr, value in mapping.items():
+        lookup = typed.get(attr, {})
+        if isinstance(value, list):
+            out[attr] = [lookup.get(v, v) for v in value]
+        else:
+            out[attr] = lookup.get(value, value)
+    return out
+
+
+def _cell_rows(service: CubeService, cells: "list[CellStats]",
+               index_names: "list[str]") -> "list[list[object]]":
+    return [
+        [service.describe(stats.key), stats.population, stats.minority,
+         stats.n_units]
+        + [stats.value(name) for name in index_names]
+        for stats in cells
+    ]
+
+
+def _cell_payload(service: CubeService, stats: CellStats,
+                  index_names: "list[str]") -> "dict[str, object]":
+    return {
+        "cell": service.describe(stats.key),
+        "population": stats.population,
+        "minority": stats.minority,
+        "n_units": stats.n_units,
+        "indexes": {
+            name: None if math.isnan(stats.value(name))
+            else stats.value(name)
+            for name in index_names
+        },
+    }
+
+
+def _print_cells(service: CubeService, cells: "list[CellStats]",
+                 as_json: bool) -> None:
+    index_names = list(service.cube.metadata.index_names)
+    if as_json:
+        print(json.dumps(
+            [_cell_payload(service, s, index_names) for s in cells], indent=2
+        ))
+        return
+    header = ["cell", "T", "M", "units"] + index_names
+    print(render_table(header, _cell_rows(service, cells, index_names)))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve read-only queries over a cube snapshot.",
+    )
+    parser.add_argument("snapshot", help="snapshot directory to open")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="cube summary and provenance")
+    sub.add_parser("rows", help="every cell as a flat table (cube.csv view)")
+
+    top = sub.add_parser("top", help="ranked segregation contexts")
+    top.add_argument("--index", default="D", help="index short name")
+    top.add_argument("-k", type=int, default=10)
+    top.add_argument("--min-minority", type=int, default=0)
+    top.add_argument("--min-population", type=int, default=0)
+    top.add_argument("--min-units", type=int, default=2)
+
+    for name, help_text in (
+        ("slice", "cells refining the given coordinates"),
+        ("cell", "one cell at the given coordinates"),
+        ("children", "drill-down neighbours of the given coordinates"),
+        ("parents", "roll-up neighbours of the given coordinates"),
+    ):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("--sa", action="append", metavar="ATTR=VALUE")
+        cmd.add_argument("--ca", action="append", metavar="ATTR=VALUE")
+
+    pivot = sub.add_parser("pivot", help="Fig. 1-style pivot of one index")
+    pivot.add_argument("--index", default="D")
+    pivot.add_argument("--rows", required=True, help="row attribute")
+    pivot.add_argument("--cols", required=True, help="column attribute")
+    pivot.add_argument("--sa", action="append", metavar="ATTR=VALUE")
+    pivot.add_argument("--ca", action="append", metavar="ATTR=VALUE")
+    pivot.add_argument("--digits", type=int, default=2)
+
+    for cmd in sub.choices.values():
+        cmd.add_argument(
+            "--json", action="store_true", help="emit JSON instead of text"
+        )
+        cmd.add_argument(
+            "--no-mmap", action="store_true",
+            help="load columns into memory instead of memory-mapping them",
+        )
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        service = CubeService(args.snapshot, mmap=not args.no_mmap)
+        if args.command == "info":
+            info = service.info()
+            if args.json:
+                print(json.dumps(info, indent=2, default=str))
+            else:
+                print(render_table(
+                    ["key", "value"],
+                    [[k, v] for k, v in info.items()],
+                ))
+        elif args.command == "rows":
+            if args.json:
+                print(json.dumps(service.cube.to_rows(), indent=2))
+            else:
+                print(render_cube(service.cube))
+        elif args.command == "top":
+            found = service.top(
+                index_name=args.index,
+                k=args.k,
+                min_minority=args.min_minority,
+                min_population=args.min_population,
+                min_units=args.min_units,
+            )
+            if args.json:
+                print(json.dumps(
+                    [
+                        {
+                            "rank": f.rank,
+                            "cell": f.description,
+                            "index": f.index_name,
+                            "value": f.value,
+                            "population": f.population,
+                            "minority": f.minority,
+                            "n_units": f.n_units,
+                        }
+                        for f in found
+                    ],
+                    indent=2,
+                ))
+            else:
+                print(render_table(
+                    ["rank", "cell", args.index, "T", "M", "units"],
+                    [
+                        [f.rank, f.description, f.value, f.population,
+                         f.minority, f.n_units]
+                        for f in found
+                    ],
+                ))
+        elif args.command in ("slice", "children", "parents"):
+            sa = _typed_coordinates(service, _coordinates(args.sa))
+            ca = _typed_coordinates(service, _coordinates(args.ca))
+            cells = getattr(service, args.command)(sa=sa, ca=ca)
+            _print_cells(service, cells, args.json)
+        elif args.command == "cell":
+            stats = service.cell(
+                sa=_typed_coordinates(service, _coordinates(args.sa)),
+                ca=_typed_coordinates(service, _coordinates(args.ca)),
+            )
+            if stats is None:
+                print("(no such cell)" if not args.json else "null")
+                return 1
+            _print_cells(service, [stats], args.json)
+        elif args.command == "pivot":
+            sa = _typed_coordinates(service, _coordinates(args.sa))
+            ca = _typed_coordinates(service, _coordinates(args.ca))
+            if args.json:
+                rows, cols, matrix = service.pivot_values(
+                    args.index, args.rows, args.cols,
+                    fixed_sa=sa, fixed_ca=ca,
+                )
+                print(json.dumps(
+                    {
+                        "rows": rows,
+                        "cols": cols,
+                        "values": [
+                            [None if math.isnan(v) else v for v in line]
+                            for line in matrix
+                        ],
+                    },
+                    indent=2,
+                ))
+            else:
+                print(service.pivot(
+                    args.index, args.rows, args.cols,
+                    fixed_sa=sa, fixed_ca=ca, digits=args.digits,
+                ))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        sys.stderr.close()
+        return 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

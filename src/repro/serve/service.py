@@ -1,0 +1,171 @@
+"""CubeService: the read-only serving facade over a cube or snapshot.
+
+One service instance wraps either a live
+:class:`~repro.cube.cube.SegregationCube` or a snapshot directory
+(opened via :func:`repro.store.open_snapshot`, memory-mapped by
+default).  Construction *warms* the table's derived lookup structures —
+decoded keys, size vectors, the hash row index — so that afterwards
+every query path is a pure read over immutable arrays and dicts: safe
+for any number of concurrent reader threads, verified by the
+thread-pool test in ``tests/test_serve_service.py``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from pathlib import Path
+from typing import Union
+
+from repro.cube.cell import CellStats
+from repro.cube.coordinates import CellKey, encode_query
+from repro.cube.cube import SegregationCube
+from repro.cube.explorer import Discovery, summarize_cube, top_contexts
+
+Coordinates = Union[Mapping[str, object], None]
+
+
+class CubeService:
+    """Concurrent read-only query serving over an opened cube."""
+
+    def __init__(
+        self,
+        source: "SegregationCube | str | Path",
+        mmap: bool = True,
+    ):
+        if isinstance(source, (str, Path)):
+            from repro.store.snapshot import open_snapshot
+
+            cube = open_snapshot(source, mmap=mmap)
+        else:
+            cube = source
+        # Build all lazy derived state up front: once warmed, queries
+        # never write to shared structures.  For live closed-mode cubes
+        # that includes the resolver's transaction-database caches
+        # (item covers, unit grouping), which are also built lazily.
+        cube.table.warm()
+        resolver_warm = getattr(
+            getattr(cube, "_resolver", None), "warm", None
+        )
+        if callable(resolver_warm):
+            resolver_warm()
+        self._cube = cube
+
+    @property
+    def cube(self) -> SegregationCube:
+        """The served cube (live or snapshot-backed)."""
+        return self._cube
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def info(self) -> "dict[str, object]":
+        """Headline numbers plus provenance of the served cube."""
+        out = summarize_cube(self._cube)
+        metadata = self._cube.metadata
+        out["backend"] = metadata.backend
+        out["index_names"] = list(metadata.index_names)
+        out["n_rows"] = metadata.n_rows
+        out["n_units"] = metadata.n_units
+        snapshot = metadata.extra.get("snapshot")
+        if snapshot is not None:
+            out["snapshot"] = snapshot
+        return out
+
+    def top(
+        self,
+        index_name: str = "D",
+        k: int = 10,
+        min_minority: int = 0,
+        min_population: int = 0,
+        min_units: int = 2,
+    ) -> "list[Discovery]":
+        """Ranked segregation contexts (the discovery primitive)."""
+        return top_contexts(
+            self._cube,
+            index_name=index_name,
+            k=k,
+            min_minority=min_minority,
+            min_population=min_population,
+            min_units=min_units,
+        )
+
+    def cell(self, sa: Coordinates = None, ca: Coordinates = None
+             ) -> "CellStats | None":
+        """Point lookup by user-level coordinates."""
+        return self._cube.cell(sa=sa, ca=ca)
+
+    def value(self, index_name: str, sa: Coordinates = None,
+              ca: Coordinates = None) -> float:
+        """One index value at user-level coordinates (nan when absent)."""
+        return self._cube.value(index_name, sa=sa, ca=ca)
+
+    def value_by_key(self, index_name: str, key: CellKey) -> float:
+        """One index value at an encoded cell key."""
+        return self._cube.value_by_key(index_name, key)
+
+    def slice(self, sa: Coordinates = None, ca: Coordinates = None
+              ) -> "list[CellStats]":
+        """All materialised cells refining the given coordinates."""
+        return self._cube.slice(sa=sa, ca=ca)
+
+    def children(self, sa: Coordinates = None, ca: Coordinates = None
+                 ) -> "list[CellStats]":
+        """Drill-down neighbours (one added coordinate)."""
+        key = encode_query(self._cube.dictionary, sa=sa, ca=ca)
+        return self._cube.children(key)
+
+    def parents(self, sa: Coordinates = None, ca: Coordinates = None
+                ) -> "list[CellStats]":
+        """Roll-up neighbours (one removed coordinate)."""
+        key = encode_query(self._cube.dictionary, sa=sa, ca=ca)
+        return self._cube.parents(key)
+
+    def describe(self, key: CellKey) -> str:
+        """Human-readable address of a cell key."""
+        return self._cube.describe(key)
+
+    def pivot(
+        self,
+        index_name: str,
+        row_attr: str,
+        col_attr: str,
+        fixed_sa: Coordinates = None,
+        fixed_ca: Coordinates = None,
+        digits: int = 2,
+    ) -> str:
+        """Fig. 1-style text pivot of one index over two attributes."""
+        from repro.report.pivot import pivot
+
+        return pivot(
+            self._cube,
+            index_name,
+            row_attr,
+            col_attr,
+            fixed_sa=fixed_sa,
+            fixed_ca=fixed_ca,
+            digits=digits,
+        )
+
+    def pivot_values(
+        self,
+        index_name: str,
+        row_attr: str,
+        col_attr: str,
+        fixed_sa: Coordinates = None,
+        fixed_ca: Coordinates = None,
+    ) -> "tuple[list[str], list[str], list[list[float]]]":
+        """The pivot's raw ``(row_labels, col_labels, matrix)`` data."""
+        from repro.report.pivot import pivot_values
+
+        return pivot_values(
+            self._cube,
+            index_name,
+            row_attr,
+            col_attr,
+            fixed_sa=fixed_sa,
+            fixed_ca=fixed_ca,
+        )
+
+    def __repr__(self) -> str:
+        return f"CubeService({self._cube!r})"

@@ -1,0 +1,42 @@
+"""Durable cube snapshots: build once, reopen and serve without rebuilding.
+
+The segregation cube is expensive to build (ETL → mining → fill) and
+cheap to read: after PR 3 its cells live in plain NumPy columns inside a
+:class:`~repro.cube.table.CellTable`.  This subsystem persists those
+columns as a **versioned on-disk snapshot** — one ``.npy`` file per
+column plus a JSON manifest carrying the schema, the item vocabulary,
+the index names and the build provenance — and reopens them, optionally
+memory-mapped, as a fully functional read-only
+:class:`~repro.cube.cube.SegregationCube`.
+
+* :mod:`repro.store.manifest` — the manifest format (versioned,
+  validated, JSON).
+* :mod:`repro.store.snapshot` — :func:`dump_snapshot`,
+  :func:`open_snapshot`, :func:`validate_snapshot`.
+
+Invariant: for any built cube, ``open_snapshot(dump_snapshot(cube))``
+yields identical cells (``check_same_cells`` at ``atol=0``) and
+identical ``top``/``slice``/pivot outputs, whether opened in memory or
+memory-mapped.  Lazily-resolved closed-mode queries are the one
+exception: the resolver needs the transaction covers, which a snapshot
+does not carry, so reopened cubes answer point queries for
+*materialised* cells only.
+"""
+
+from repro.store.manifest import FORMAT_VERSION, MANIFEST_NAME, SnapshotManifest
+from repro.store.snapshot import (
+    dump_snapshot,
+    open_snapshot,
+    snapshot_files,
+    validate_snapshot,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "SnapshotManifest",
+    "dump_snapshot",
+    "open_snapshot",
+    "snapshot_files",
+    "validate_snapshot",
+]

@@ -1,0 +1,198 @@
+"""Write, validate and reopen cube snapshots (one ``.npy`` per column).
+
+A snapshot is a directory::
+
+    snapshot/
+      manifest.json      format version, vocabulary, provenance, array map
+      population.npy     int64  (n_cells,)
+      minority.npy       int64  (n_cells,)
+      n_units.npy        int64  (n_cells,)
+      sa_masks.npy       uint64 (n_cells, n_words)   packed SA key bitmasks
+      ca_masks.npy       uint64 (n_cells, n_words)   packed CA key bitmasks
+      col_<i>.npy        float64 (n_cells,)          one per index column
+
+The cell *keys* are not stored separately: they are exactly the packed
+bitmasks, decoded lazily on reopen by
+:meth:`~repro.cube.table.CellTable.keys`.  Reopening therefore costs a
+manifest parse plus one ``np.load`` per column — with ``mmap=True``
+(the default) no array data is read until a query touches it, which is
+what makes cold serving start in milliseconds instead of re-running
+ETL → mining → fill (benchmark E18).
+
+Reopened arrays are read-only (memory-mapped ``mode="r"`` or with the
+writeable flag cleared), so an opened snapshot can be shared by any
+number of concurrent reader threads.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.cube.cube import SegregationCube
+from repro.cube.table import CellTable, TableArrays
+from repro.errors import SnapshotError
+from repro.store.manifest import MANIFEST_NAME, ArrayInfo, SnapshotManifest
+
+#: Fixed (non-index) arrays every snapshot carries, with their dtypes.
+_FIXED_ARRAYS = {
+    "population": "int64",
+    "minority": "int64",
+    "n_units": "int64",
+    "sa_masks": "uint64",
+    "ca_masks": "uint64",
+}
+
+_COLUMN_DTYPE = "float64"
+
+
+def _column_file(position: int) -> str:
+    return f"col_{position}.npy"
+
+
+def snapshot_files(manifest: SnapshotManifest) -> "list[str]":
+    """All file names a snapshot described by ``manifest`` consists of."""
+    return [MANIFEST_NAME] + [info.file for info in manifest.arrays.values()]
+
+
+def dump_snapshot(cube: SegregationCube, path: "str | Path") -> Path:
+    """Persist a built cube to ``path`` (a directory) and return it.
+
+    Existing snapshot files in the directory are overwritten.  Any
+    stale manifest is removed *first* and the new one is written
+    *last*, so a directory with a readable manifest always describes a
+    complete snapshot — a crash mid-dump (even mid-overwrite) leaves a
+    manifest-less directory that :func:`open_snapshot` rejects instead
+    of a chimera of old and new columns.
+    """
+    directory = Path(path)
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / MANIFEST_NAME).unlink(missing_ok=True)
+    table = cube.table
+    manifest = SnapshotManifest.for_cube(cube)
+
+    def save(name: str, file: str, array: np.ndarray, dtype: str) -> None:
+        array = np.ascontiguousarray(np.asarray(array, dtype=dtype))
+        np.save(directory / file, array)
+        manifest.arrays[name] = ArrayInfo(
+            file=file, dtype=dtype, shape=list(array.shape)
+        )
+
+    save("population", "population.npy", table.population, "int64")
+    save("minority", "minority.npy", table.minority, "int64")
+    save("n_units", "n_units.npy", table.n_units, "int64")
+    save("sa_masks", "sa_masks.npy", table.sa_masks, "uint64")
+    save("ca_masks", "ca_masks.npy", table.ca_masks, "uint64")
+    for position, (name, column) in enumerate(table.columns.items()):
+        save(f"column:{name}", _column_file(position), column, _COLUMN_DTYPE)
+    manifest.write(directory)
+    # Overwriting a snapshot that had more index columns leaves orphan
+    # col_<i>.npy files behind; prune anything the new manifest does
+    # not claim so the directory *is* the snapshot.
+    expected = set(snapshot_files(manifest))
+    for stale in directory.glob("col_*.npy"):
+        if stale.name not in expected:
+            stale.unlink()
+    return directory
+
+
+def validate_snapshot(path: "str | Path") -> SnapshotManifest:
+    """Check that ``path`` holds a complete, consistent snapshot.
+
+    Raises :class:`~repro.errors.SnapshotError` on a missing or
+    malformed manifest, an unsupported format version, a missing array
+    file, or an array whose dtype/shape disagrees with the manifest.
+    Returns the parsed manifest on success.
+    """
+    directory = Path(path)
+    if not directory.is_dir():
+        raise SnapshotError(f"snapshot directory {directory} does not exist")
+    manifest = SnapshotManifest.read(directory)
+
+    expected = dict(_FIXED_ARRAYS)
+    for name in manifest.column_names:
+        expected[f"column:{name}"] = _COLUMN_DTYPE
+    missing = sorted(set(expected) - set(manifest.arrays))
+    if missing:
+        raise SnapshotError(
+            f"manifest lists no array entry for: {', '.join(missing)}"
+        )
+
+    for name, info in manifest.arrays.items():
+        file = directory / info.file
+        if not file.is_file():
+            raise SnapshotError(f"snapshot array file missing: {file}")
+        try:
+            array = np.load(file, mmap_mode="r", allow_pickle=False)
+        except (ValueError, OSError) as exc:
+            raise SnapshotError(
+                f"snapshot array {info.file} is unreadable: {exc}"
+            ) from exc
+        if str(array.dtype) != info.dtype or list(array.shape) != info.shape:
+            raise SnapshotError(
+                f"snapshot array {info.file} is {array.dtype}{array.shape}, "
+                f"manifest says {info.dtype}{tuple(info.shape)}"
+            )
+        want_dtype = expected.get(name)
+        if want_dtype is not None and info.dtype != want_dtype:
+            raise SnapshotError(
+                f"array {name!r} must be {want_dtype}, manifest says "
+                f"{info.dtype}"
+            )
+        if info.shape[0] != manifest.n_cells:
+            raise SnapshotError(
+                f"array {name!r} has {info.shape[0]} rows for "
+                f"{manifest.n_cells} cells"
+            )
+    return manifest
+
+
+def _load(directory: Path, info: ArrayInfo, mmap: bool) -> np.ndarray:
+    array = np.load(
+        directory / info.file,
+        mmap_mode="r" if mmap else None,
+        allow_pickle=False,
+    )
+    if not mmap:
+        # Serving is strictly read-only; enforce it on owned arrays the
+        # way mode="r" memory maps already do.
+        array.flags.writeable = False
+    return array
+
+
+def open_snapshot(path: "str | Path", mmap: bool = True) -> SegregationCube:
+    """Reopen a snapshot as a read-only :class:`SegregationCube`.
+
+    With ``mmap=True`` (default) columns are memory-mapped: the kernel
+    pages array data in on demand and shares it between processes
+    serving the same snapshot.  With ``mmap=False`` columns are loaded
+    into (read-only) process memory.
+
+    The returned cube has no lazy resolver: point queries answer from
+    materialised cells only (a snapshot does not carry the transaction
+    covers a ``closed``-mode resolver would need).
+    """
+    directory = Path(path)
+    manifest = validate_snapshot(directory)
+    arrays = TableArrays(
+        population=_load(directory, manifest.arrays["population"], mmap),
+        minority=_load(directory, manifest.arrays["minority"], mmap),
+        n_units=_load(directory, manifest.arrays["n_units"], mmap),
+        sa_masks=_load(directory, manifest.arrays["sa_masks"], mmap),
+        ca_masks=_load(directory, manifest.arrays["ca_masks"], mmap),
+        columns={
+            name: _load(directory, manifest.arrays[f"column:{name}"], mmap)
+            for name in manifest.column_names
+        },
+    )
+    table = CellTable.from_arrays(arrays)
+    metadata = manifest.cube_metadata()
+    metadata.extra = dict(metadata.extra)
+    metadata.extra["snapshot"] = {
+        "path": str(directory),
+        "created_at": manifest.created_at,
+        "mmap": mmap,
+        "format_version": manifest.format_version,
+    }
+    return SegregationCube(table, manifest.dictionary(), metadata)

@@ -16,7 +16,7 @@ from repro.cube.builder import SegregationDataCubeBuilder, build_cube
 from repro.cube.cell import CellStats
 from repro.cube.coordinates import describe_key, make_key
 from repro.cube.cube import check_same_cells
-from repro.cube.table import CellTable, pack_items
+from repro.cube.table import CellTable, pack_items, unpack_masks
 from repro.data.synthetic import random_final_table
 from repro.errors import CubeError
 
@@ -256,6 +256,50 @@ class TestCellTable:
         columnar, _ = engines
         foreign = make_key([10_000], [])
         assert columnar.children(foreign) == []
+
+    def test_from_arrays_reconstructs_derived_state(self, engines):
+        """Keys, sizes and the row index rebuild from the bare arrays."""
+        columnar, _ = engines
+        table = columnar.table
+        clone = CellTable.from_arrays(table.arrays)
+        assert clone.keys == table.keys
+        assert np.array_equal(clone.sa_sizes, table.sa_sizes)
+        assert np.array_equal(clone.ca_sizes, table.ca_sizes)
+        for key in table.keys[:25]:
+            assert clone.row_of(key) == table.row_of(key)
+        row = int(np.flatnonzero(table.defined_mask("D"))[0])
+        assert clone.stats(row) == table.stats(row)
+
+    def test_unpack_masks_inverts_pack(self):
+        parts = [frozenset(), frozenset({0, 63}), frozenset({64, 130})]
+        masks = CellTable._pack_parts(parts, 3)
+        assert unpack_masks(masks) == parts
+
+
+class TestPointLookupRouting:
+    """Regression: point lookups are O(1) hash hits, never key scans."""
+
+    class _ScanGuard(list):
+        def __iter__(self):
+            raise AssertionError("point lookup iterated the keys list")
+
+    def test_point_lookups_never_scan_keys(self, engines):
+        columnar, _ = engines
+        table = columnar.table
+        sample = table.keys[:10]
+        absent = make_key([0, 1], [9_999])
+        table.warm()  # lazy state built; lookups must not touch keys
+        original = table._keys
+        table._keys = self._ScanGuard(original)
+        try:
+            for key in sample:
+                assert columnar.cell_by_key(key) is not None
+                assert key in columnar
+                value = columnar.value_by_key("D", key)
+                assert isinstance(value, float)
+            assert table.row_of(absent) is None
+        finally:
+            table._keys = original
 
     def test_superset_mask_wide_dictionaries(self):
         keys = [

@@ -51,6 +51,16 @@ def test_italian_boards_answers_three_questions(in_tmp_dir, capsys):
     assert (in_tmp_dir / "italy_scube.xlsx").exists()
 
 
+def test_persist_and_serve_round_trips(in_tmp_dir, capsys):
+    runpy.run_path(
+        str(EXAMPLES_DIR / "persist_and_serve.py"), run_name="__main__"
+    )
+    out = capsys.readouterr().out
+    assert "parity with live cube: identical" in out
+    assert "zero rebuild" in out
+    assert (in_tmp_dir / "schools_snapshot" / "manifest.json").exists()
+
+
 def test_estonian_temporal_reports_trend(in_tmp_dir, capsys):
     runpy.run_path(
         str(EXAMPLES_DIR / "estonian_temporal.py"), run_name="__main__"

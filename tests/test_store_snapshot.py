@@ -1,0 +1,344 @@
+"""Tests of the snapshot store: dump → validate → open round trips.
+
+Pins the PR 4 contract: for any built cube,
+``open_snapshot(dump_snapshot(cube))`` yields identical cells
+(``check_same_cells`` at atol=0) and identical ``top``/``slice``/pivot
+outputs, both in memory and memory-mapped; every corruption mode
+surfaces as a clear :class:`~repro.errors.SnapshotError`.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cube.builder import SegregationDataCubeBuilder, build_cube
+from repro.cube.cell import CellStats
+from repro.cube.cube import CubeMetadata, SegregationCube, check_same_cells
+from repro.cube.coordinates import make_key
+from repro.errors import SnapshotError
+from repro.itemsets.items import Item, ItemDictionary, ItemKind
+from repro.report.pivot import pivot
+from repro.store import (
+    FORMAT_VERSION,
+    MANIFEST_NAME,
+    dump_snapshot,
+    open_snapshot,
+    validate_snapshot,
+)
+
+
+@pytest.fixture(scope="module")
+def built(schools):
+    table, schema = schools
+    return build_cube(table, schema, min_population=10, min_minority=3)
+
+
+def _metadata(index_names, mode="all"):
+    return CubeMetadata(
+        index_names=index_names, min_population=1, min_minority=1,
+        n_rows=10, n_units=2, mode=mode, backend="test",
+    )
+
+
+def _tiny_dictionary():
+    dictionary = ItemDictionary()
+    dictionary.add(Item("sex", "F"), ItemKind.SA)
+    dictionary.add(Item("region", "north"), ItemKind.CA)
+    dictionary.add(Item("n_boards", 2), ItemKind.CA)       # int value
+    dictionary.add(Item("active", True), ItemKind.CA)      # bool value
+    dictionary.add(Item("share", 0.25), ItemKind.CA)       # float value
+    return dictionary
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("mmap", [True, False])
+    def test_cells_and_queries_identical(self, built, tmp_path, mmap):
+        dump_snapshot(built, tmp_path / "snap")
+        reopened = open_snapshot(tmp_path / "snap", mmap=mmap)
+        assert check_same_cells(built, reopened, atol=0.0) == []
+        assert list(reopened.keys()) == list(built.keys())
+        assert (
+            [s.key for s in reopened.top("D", k=10, min_minority=5)]
+            == [s.key for s in built.top("D", k=10, min_minority=5)]
+        )
+        want = {"city": "Rivertown"}
+        assert (
+            [s.key for s in reopened.slice(ca=want)]
+            == [s.key for s in built.slice(ca=want)]
+        )
+        assert (
+            pivot(reopened, "D", "ethnicity", "city")
+            == pivot(built, "D", "ethnicity", "city")
+        )
+        assert reopened.to_rows() == built.to_rows()
+
+    def test_cube_dump_method_equivalent(self, built, tmp_path):
+        built.dump(tmp_path / "via_method")
+        reopened = open_snapshot(tmp_path / "via_method")
+        assert check_same_cells(built, reopened, atol=0.0) == []
+
+    def test_metadata_and_vocabulary_survive(self, built, tmp_path):
+        dump_snapshot(built, tmp_path / "snap")
+        reopened = open_snapshot(tmp_path / "snap")
+        assert reopened.metadata.index_names == built.metadata.index_names
+        assert reopened.metadata.mode == built.metadata.mode
+        assert reopened.metadata.n_rows == built.metadata.n_rows
+        assert reopened.metadata.n_units == built.metadata.n_units
+        assert reopened.metadata.extra["snapshot"]["format_version"] == (
+            FORMAT_VERSION
+        )
+        for i in range(len(built.dictionary)):
+            assert reopened.dictionary.item(i) == built.dictionary.item(i)
+            assert reopened.dictionary.kind(i) == built.dictionary.kind(i)
+
+    def test_mmapped_arrays_are_read_only(self, built, tmp_path):
+        dump_snapshot(built, tmp_path / "snap")
+        for mmap in (True, False):
+            reopened = open_snapshot(tmp_path / "snap", mmap=mmap)
+            with pytest.raises(ValueError):
+                reopened.table.population[0] = 99
+
+    def test_empty_cube_round_trips(self, tmp_path):
+        cube = SegregationCube(
+            {}, _tiny_dictionary(), _metadata(["D"])
+        )
+        dump_snapshot(cube, tmp_path / "empty")
+        reopened = open_snapshot(tmp_path / "empty")
+        assert len(reopened) == 0
+        assert check_same_cells(cube, reopened, atol=0.0) == []
+        assert reopened.to_rows() == []
+        assert reopened.top("D", k=5) == []
+
+    def test_single_cell_cube_round_trips(self, tmp_path):
+        key = make_key([0], [1])
+        cube = SegregationCube(
+            {key: CellStats(key, 8, 3, 2, {"D": 0.25})},
+            _tiny_dictionary(),
+            _metadata(["D"]),
+        )
+        dump_snapshot(cube, tmp_path / "one")
+        reopened = open_snapshot(tmp_path / "one")
+        assert len(reopened) == 1
+        assert check_same_cells(cube, reopened, atol=0.0) == []
+        cell = reopened.cell_by_key(key)
+        assert cell is not None and cell.value("D") == 0.25
+
+    def test_numpy_scalar_item_values_dump_and_round_trip(self, tmp_path):
+        """np.int64/np.bool_ vocabulary values must not break JSON and
+        must reopen as their Python equivalents."""
+        dictionary = ItemDictionary()
+        dictionary.add(Item("g", "F"), ItemKind.SA)
+        dictionary.add(Item("n", np.int64(2)), ItemKind.CA)
+        dictionary.add(Item("flag", np.bool_(True)), ItemKind.CA)
+        key = make_key([0], [1])
+        cube = SegregationCube(
+            {key: CellStats(key, 8, 3, 2, {"D": 0.25})},
+            dictionary,
+            _metadata(["D"]),
+        )
+        dump_snapshot(cube, tmp_path / "npvals")
+        reopened = open_snapshot(tmp_path / "npvals")
+        assert reopened.dictionary.item(1) == Item("n", 2)
+        assert type(reopened.dictionary.item(1).value) is int
+        assert type(reopened.dictionary.item(2).value) is bool
+
+    def test_overwrite_prunes_stale_column_files(self, schools, tmp_path):
+        """Re-dumping a cube with fewer index columns removes orphans."""
+        table, schema = schools
+        wide = build_cube(table, schema, indexes=["D", "G", "H"],
+                          min_population=10, min_minority=3)
+        narrow = build_cube(table, schema, indexes=["D"],
+                            min_population=10, min_minority=3)
+        dump_snapshot(wide, tmp_path / "snap")
+        assert (tmp_path / "snap" / "col_2.npy").exists()
+        dump_snapshot(narrow, tmp_path / "snap")
+        assert (tmp_path / "snap" / "col_0.npy").exists()
+        assert not (tmp_path / "snap" / "col_1.npy").exists()
+        assert not (tmp_path / "snap" / "col_2.npy").exists()
+        reopened = open_snapshot(tmp_path / "snap")
+        assert check_same_cells(narrow, reopened, atol=0.0) == []
+
+    def test_non_string_item_values_survive_exactly(self, tmp_path):
+        """int/bool/float vocabulary values keep their exact type."""
+        key = make_key([0], [2])
+        cube = SegregationCube(
+            {key: CellStats(key, 8, 3, 2, {"D": 0.5})},
+            _tiny_dictionary(),
+            _metadata(["D"]),
+        )
+        dump_snapshot(cube, tmp_path / "typed")
+        reopened = open_snapshot(tmp_path / "typed")
+        for i in range(len(cube.dictionary)):
+            original = cube.dictionary.item(i)
+            restored = reopened.dictionary.item(i)
+            assert restored == original
+            assert type(restored.value) is type(original.value)
+
+    def test_custom_scalar_fallback_index_round_trips(
+        self, schools, tmp_path
+    ):
+        """A registered custom index (scalar fallback kernel) persists."""
+        from repro.indexes.base import _REGISTRY, IndexSpec, register
+
+        name = "TSnap"
+        if name.upper() not in _REGISTRY:
+            register(IndexSpec(name, "Minority proportion",
+                               lambda c: c.proportion, (0.0, 1.0), True))
+        try:
+            table, schema = schools
+            cube = build_cube(
+                table, schema, indexes=["D", name],
+                min_population=10, min_minority=3,
+            )
+            dump_snapshot(cube, tmp_path / "custom")
+            reopened = open_snapshot(tmp_path / "custom")
+            assert reopened.metadata.index_names == ["D", name]
+            assert check_same_cells(cube, reopened, atol=0.0) == []
+        finally:
+            _REGISTRY.pop(name.upper(), None)
+
+    def test_closed_mode_materialised_cells_round_trip(
+        self, schools, tmp_path
+    ):
+        """Closed-mode cubes persist their materialised (closed) cells;
+        the lazy resolver is build-state and does not survive."""
+        table, schema = schools
+        closed = SegregationDataCubeBuilder(
+            mode="closed", min_population=10, min_minority=3
+        ).build(table, schema)
+        full = build_cube(table, schema, min_population=10, min_minority=3)
+        dump_snapshot(closed, tmp_path / "closed")
+        reopened = open_snapshot(tmp_path / "closed")
+        assert check_same_cells(closed, reopened, atol=0.0) == []
+        assert reopened.metadata.mode == "closed"
+        # Any key the live closed cube resolves lazily and the snapshot
+        # does not materialise answers None after reopen (covers gone).
+        lazy_keys = [
+            key for key in full.keys() if key not in set(closed.keys())
+        ]
+        for key in lazy_keys:
+            assert closed.cell_by_key(key) is not None   # live: resolver
+            assert reopened.cell_by_key(key) is None     # snapshot: cells only
+
+    def test_extra_undeclared_columns_round_trip(self, tmp_path):
+        """Hand-built cells with extra index entries keep their columns."""
+        key = make_key([0], [1])
+        cube = SegregationCube(
+            {key: CellStats(key, 8, 3, 2, {"D": 0.25, "X": 0.75})},
+            _tiny_dictionary(),
+            _metadata(["D"]),
+        )
+        dump_snapshot(cube, tmp_path / "extra")
+        reopened = open_snapshot(tmp_path / "extra")
+        assert reopened.table.value_at(0, "X") == 0.75
+
+
+class TestValidation:
+    def test_validate_accepts_fresh_snapshot(self, built, tmp_path):
+        dump_snapshot(built, tmp_path / "snap")
+        manifest = validate_snapshot(tmp_path / "snap")
+        assert manifest.n_cells == len(built)
+        assert manifest.column_names == list(built.metadata.index_names)
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(SnapshotError, match="does not exist"):
+            open_snapshot(tmp_path / "nope")
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        (tmp_path / "snap").mkdir()
+        with pytest.raises(SnapshotError, match="manifest"):
+            open_snapshot(tmp_path / "snap")
+
+    def test_corrupted_manifest_rejected(self, built, tmp_path):
+        dump_snapshot(built, tmp_path / "snap")
+        (tmp_path / "snap" / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(SnapshotError, match="not valid JSON"):
+            open_snapshot(tmp_path / "snap")
+
+    def test_version_mismatch_rejected(self, built, tmp_path):
+        dump_snapshot(built, tmp_path / "snap")
+        manifest_path = tmp_path / "snap" / MANIFEST_NAME
+        payload = json.loads(manifest_path.read_text())
+        payload["format_version"] = FORMAT_VERSION + 1
+        manifest_path.write_text(json.dumps(payload))
+        with pytest.raises(SnapshotError, match="format version"):
+            open_snapshot(tmp_path / "snap")
+
+    def test_missing_required_field_rejected(self, built, tmp_path):
+        dump_snapshot(built, tmp_path / "snap")
+        manifest_path = tmp_path / "snap" / MANIFEST_NAME
+        payload = json.loads(manifest_path.read_text())
+        del payload["items"]
+        manifest_path.write_text(json.dumps(payload))
+        with pytest.raises(SnapshotError, match="missing required"):
+            open_snapshot(tmp_path / "snap")
+
+    def test_missing_array_file_rejected(self, built, tmp_path):
+        dump_snapshot(built, tmp_path / "snap")
+        (tmp_path / "snap" / "minority.npy").unlink()
+        with pytest.raises(SnapshotError, match="minority.npy"):
+            open_snapshot(tmp_path / "snap")
+
+    def test_shape_mismatch_rejected(self, built, tmp_path):
+        dump_snapshot(built, tmp_path / "snap")
+        np.save(tmp_path / "snap" / "minority.npy",
+                np.zeros(3, dtype=np.int64))
+        with pytest.raises(SnapshotError, match="minority.npy"):
+            open_snapshot(tmp_path / "snap")
+
+    def test_truncated_array_file_rejected(self, built, tmp_path):
+        dump_snapshot(built, tmp_path / "snap")
+        file = tmp_path / "snap" / "population.npy"
+        file.write_bytes(file.read_bytes()[:16])
+        with pytest.raises(SnapshotError):
+            open_snapshot(tmp_path / "snap")
+
+    def test_corrupted_vocabulary_value_rejected(self, built, tmp_path):
+        """A tampered typed value raises SnapshotError, not ValueError."""
+        dump_snapshot(built, tmp_path / "snap")
+        manifest_path = tmp_path / "snap" / MANIFEST_NAME
+        payload = json.loads(manifest_path.read_text())
+        payload["items"][0]["value_type"] = "int"
+        payload["items"][0]["value"] = "not-a-number"
+        manifest_path.write_text(json.dumps(payload))
+        with pytest.raises(SnapshotError, match="not a valid int"):
+            open_snapshot(tmp_path / "snap")
+
+    def test_corrupted_bool_vocabulary_value_rejected(
+        self, built, tmp_path
+    ):
+        dump_snapshot(built, tmp_path / "snap")
+        manifest_path = tmp_path / "snap" / MANIFEST_NAME
+        payload = json.loads(manifest_path.read_text())
+        payload["items"][0]["value_type"] = "bool"
+        payload["items"][0]["value"] = "false"   # string, not JSON bool
+        manifest_path.write_text(json.dumps(payload))
+        with pytest.raises(SnapshotError, match="not a bool"):
+            open_snapshot(tmp_path / "snap")
+
+    def test_interrupted_overwrite_leaves_no_stale_manifest(
+        self, built, tmp_path, monkeypatch
+    ):
+        """A crash mid-re-dump must not leave an old manifest that
+        validates a mix of old and new arrays."""
+        import repro.store.snapshot as snapshot_mod
+
+        dump_snapshot(built, tmp_path / "snap")
+        real_save = np.save
+        calls = {"n": 0}
+
+        def failing_save(file, array, **kwargs):
+            calls["n"] += 1
+            if calls["n"] >= 2:
+                raise OSError("disk full")
+            return real_save(file, array, **kwargs)
+
+        monkeypatch.setattr(snapshot_mod.np, "save", failing_save)
+        with pytest.raises(OSError):
+            dump_snapshot(built, tmp_path / "snap")
+        monkeypatch.undo()
+        with pytest.raises(SnapshotError, match="manifest"):
+            open_snapshot(tmp_path / "snap")
