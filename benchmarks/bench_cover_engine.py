@@ -13,7 +13,9 @@ generator at 100k+ rows:
 
 Assertions pin the refactor's contract: identical mined supports and
 cube cells across codecs, with packed mining at least 2× faster than the
-dense-boolean baseline.
+dense-boolean baseline.  Besides the paper-style text tables, the
+mining shoot-out emits machine-readable ``results/BENCH_E14.json`` so
+the codec trajectory can be regressed on like E17/E18/E19.
 """
 
 from __future__ import annotations
@@ -29,7 +31,7 @@ from repro.itemsets.eclat import mine_eclat
 from repro.itemsets.transactions import encode_table
 from repro.report.text import render_table
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import write_bench_json, write_result
 
 MINE_ROWS = 200_000
 MINE_MINSUP = 250
@@ -101,6 +103,16 @@ def test_cover_engine_mining(benchmark):
             rows,
         ),
     )
+    write_bench_json("E14", {
+        "rows": MINE_ROWS,
+        "itemsets": len(packed_supports),
+        "bool_mine_ms": bool_seconds * 1e3,
+        "packed_mine_ms": packed_seconds * 1e3,
+        "packed_speedup_vs_bool": speedup,
+        "ewah_rows": EWAH_MINE_ROWS,
+        "ewah_mine_ms": small["ewah"][0] * 1e3,
+        "min_speedup_required": 2.0,
+    })
     assert speedup >= 2.0, (
         f"packed covers only {speedup:.2f}x faster than dense booleans"
     )

@@ -47,6 +47,7 @@ from repro.core.scenarios import (
 from repro.cube.builder import SegregationDataCubeBuilder, build_cube
 from repro.cube.cube import SegregationCube
 from repro.cube.explorer import simpson_reversals, top_contexts
+from repro.cube.incremental import TemporalCubeEngine
 from repro.cube.naive import NaiveCubeBuilder
 from repro.cube.protocol import CubeLike
 from repro.data.estonia import EstoniaConfig, generate_estonia
@@ -57,7 +58,13 @@ from repro.etl.schema import Schema
 from repro.etl.table import Table
 from repro.indexes.counts import UnitCounts
 from repro.serve.service import CubeService
-from repro.store.snapshot import dump_snapshot, open_snapshot, validate_snapshot
+from repro.store.snapshot import (
+    dump_delta_snapshot,
+    dump_snapshot,
+    open_snapshot,
+    validate_snapshot,
+)
+from repro.store.timeline import CubeTimeline, dump_into_timeline
 
 __version__ = "1.0.0"
 
@@ -67,6 +74,7 @@ __all__ = [
     "CubeConfig",
     "CubeLike",
     "CubeService",
+    "CubeTimeline",
     "EstoniaConfig",
     "ItalyConfig",
     "NaiveCubeBuilder",
@@ -80,10 +88,13 @@ __all__ = [
     "SegregationCube",
     "SegregationDataCubeBuilder",
     "Table",
+    "TemporalCubeEngine",
     "UnitCounts",
     "__version__",
     "build_cube",
     "cube_workbook",
+    "dump_delta_snapshot",
+    "dump_into_timeline",
     "dump_snapshot",
     "generate_estonia",
     "generate_italy",

@@ -6,6 +6,22 @@ years.  This module formalises the analysis the demo performs per
 snapshot: join the snapshot's seats, derive organizational units from a
 group attribute, and evaluate segregation indexes for one subgroup —
 yielding a time series ready for plotting or reporting.
+
+Two evaluation paths produce the same series:
+
+* the **recompute** path joins and counts each snapshot from scratch
+  (the original behaviour — fine for one subgroup, one pass);
+* the **cube** path reads the subgroup's cell out of a prebuilt
+  :class:`~repro.store.timeline.CubeTimeline` — pass the timeline as
+  the first argument of :func:`segregation_trend` — so a timeline that
+  already exists (built once, incrementally, for *every* subgroup)
+  answers any trend query without touching the raw data again.
+  Parity between the paths is pinned by ``tests/test_core_trend.py``.
+
+:func:`temporal_seats_table` is the union-table half of that story: one
+row per membership edge whatever its validity, plus the sentinel-encoded
+interval bounds — encode it once, then a snapshot date is just a row
+mask (see :mod:`repro.etl.diff` and :mod:`repro.cube.incremental`).
 """
 
 from __future__ import annotations
@@ -18,10 +34,12 @@ import numpy as np
 from repro.data.italy import BoardsDataset
 from repro.errors import ReproError, TableError
 from repro.etl.builder import tabular_final_table
+from repro.etl.diff import interval_bounds
 from repro.etl.schema import AttributeSpec, Role, Schema
 from repro.etl.table import CategoricalColumn, MultiValuedColumn, Table
 from repro.indexes.base import resolve_indexes
 from repro.indexes.counts import UnitCounts
+from repro.store.timeline import CubeTimeline
 
 
 def _id_positions(table: Table, id_name: str) -> dict[int, int]:
@@ -29,25 +47,15 @@ def _id_positions(table: Table, id_name: str) -> dict[int, int]:
     return {int(v): i for i, v in enumerate(ids)}
 
 
-def snapshot_seats_table(
-    dataset: BoardsDataset, date: "int | None" = None
+def _join_seat_attributes(
+    dataset: BoardsDataset, ind_rows: np.ndarray, grp_rows: np.ndarray
 ) -> tuple[Table, Schema]:
-    """One row per membership valid at ``date``, joining both entities.
+    """Join both entities' SA/CA attributes onto aligned seat rows.
 
-    Columns: every SA/CA attribute of the individuals plus every CA
-    attribute of the groups; the schema carries the roles over.  This
-    generalises the per-dataset helpers to any :class:`BoardsDataset`.
+    The single join used by the per-date snapshot table *and* the union
+    temporal table — the exact-parity contract between the recompute
+    and cube trend paths rests on them sharing this code.
     """
-    pairs = dataset.membership.snapshot(date)
-    if not pairs:
-        raise ReproError(f"no membership is valid at date {date!r}")
-    ind_pos = _id_positions(
-        dataset.individuals, dataset.individuals_schema.id_name
-    )
-    grp_pos = _id_positions(dataset.groups, dataset.groups_schema.id_name)
-    ind_rows = np.asarray([ind_pos[d] for d, _ in pairs], dtype=np.int64)
-    grp_rows = np.asarray([grp_pos[g] for _, g in pairs], dtype=np.int64)
-
     columns: dict[str, object] = {}
     specs: list[AttributeSpec] = []
     for spec in dataset.individuals_schema.specs:
@@ -68,6 +76,55 @@ def snapshot_seats_table(
         columns[spec.name] = dataset.groups.column(spec.name).take(grp_rows)
         specs.append(spec)
     return Table(columns), Schema(specs)  # type: ignore[arg-type]
+
+
+def snapshot_seats_table(
+    dataset: BoardsDataset, date: "int | None" = None
+) -> tuple[Table, Schema]:
+    """One row per membership valid at ``date``, joining both entities.
+
+    Columns: every SA/CA attribute of the individuals plus every CA
+    attribute of the groups; the schema carries the roles over.  This
+    generalises the per-dataset helpers to any :class:`BoardsDataset`.
+    """
+    pairs = dataset.membership.snapshot(date)
+    if not pairs:
+        raise ReproError(f"no membership is valid at date {date!r}")
+    ind_pos = _id_positions(
+        dataset.individuals, dataset.individuals_schema.id_name
+    )
+    grp_pos = _id_positions(dataset.groups, dataset.groups_schema.id_name)
+    ind_rows = np.asarray([ind_pos[d] for d, _ in pairs], dtype=np.int64)
+    grp_rows = np.asarray([grp_pos[g] for _, g in pairs], dtype=np.int64)
+    return _join_seat_attributes(dataset, ind_rows, grp_rows)
+
+
+def temporal_seats_table(
+    dataset: BoardsDataset,
+) -> "tuple[Table, Schema, np.ndarray, np.ndarray]":
+    """The *union* seat table: one row per membership edge, any validity.
+
+    Returns ``(table, schema, starts, ends)`` where the interval bound
+    arrays are sentinel-encoded (:data:`repro.etl.diff.OPEN_START` /
+    ``OPEN_END``) and row-aligned with the table, which preserves the
+    membership's edge order.  Encode the table once, restrict per date
+    with :func:`repro.etl.diff.valid_at` — the input contract of the
+    incremental temporal fill (:mod:`repro.cube.incremental`).
+    """
+    ind_pos = _id_positions(
+        dataset.individuals, dataset.individuals_schema.id_name
+    )
+    grp_pos = _id_positions(dataset.groups, dataset.groups_schema.id_name)
+    edges = list(dataset.membership)
+    if not edges:
+        raise ReproError("membership relation is empty")
+    ind_rows = np.asarray(
+        [ind_pos[e.individual] for e in edges], dtype=np.int64
+    )
+    grp_rows = np.asarray([grp_pos[e.group] for e in edges], dtype=np.int64)
+    table, schema = _join_seat_attributes(dataset, ind_rows, grp_rows)
+    starts, ends = interval_bounds(e.interval for e in edges)
+    return table, schema, starts, ends
 
 
 def _subgroup_mask(table: Table, sa: Mapping[str, object]) -> np.ndarray:
@@ -102,9 +159,9 @@ class TrendPoint:
 
 
 def segregation_trend(
-    dataset: BoardsDataset,
+    dataset: "BoardsDataset | CubeTimeline",
     dates: Iterable[int],
-    unit_attr: str,
+    unit_attr: "str | None",
     sa: Mapping[str, object],
     indexes: "list[str] | None" = None,
 ) -> "list[TrendPoint]":
@@ -112,6 +169,13 @@ def segregation_trend(
 
     Parameters
     ----------
+    dataset:
+        A :class:`BoardsDataset` — each date is joined and counted from
+        scratch — or a prebuilt
+        :class:`~repro.store.timeline.CubeTimeline`, in which case the
+        subgroup's values are *read* from each dated cube's cells (no
+        recomputation; ``unit_attr`` is ignored, the timeline's cubes
+        already fixed the unit when they were built).
     unit_attr:
         The group/individual attribute whose values become the
         organizational units (e.g. ``sector``), as in scenario 1.
@@ -121,8 +185,11 @@ def segregation_trend(
     indexes:
         Index short names (default: the six SCube indexes).
 
-    Dates with no valid membership are skipped.
+    Dates with no valid membership (recompute path) or no timeline
+    snapshot / no materialised subgroup cell (cube path) are skipped.
     """
+    if isinstance(dataset, CubeTimeline):
+        return _trend_from_timeline(dataset, dates, sa, indexes)
     specs = resolve_indexes(indexes)
     points: list[TrendPoint] = []
     for date in dates:
@@ -142,6 +209,46 @@ def segregation_trend(
                 proportion=counts.proportion,
                 n_units=counts.n_units,
                 values={s.name: s.compute(counts) for s in specs},
+            )
+        )
+    return points
+
+
+def _trend_from_timeline(
+    timeline: CubeTimeline,
+    dates: Iterable[int],
+    sa: Mapping[str, object],
+    indexes: "list[str] | None",
+) -> "list[TrendPoint]":
+    """Cube path: read the subgroup cell out of each dated snapshot.
+
+    The subgroup's cell at the root context carries exactly the numbers
+    the recompute path derives — the context population is the whole
+    snapshot, the cell minority is the subgroup size, and the index
+    columns were evaluated on the same per-unit vectors — so the two
+    paths agree (parity-tested in ``tests/test_core_trend.py``).
+    """
+    names = [spec.name for spec in resolve_indexes(indexes)]
+    available = set(timeline.dates)
+    points: list[TrendPoint] = []
+    for date in dates:
+        if date not in available:
+            continue
+        cube = timeline.at(int(date))
+        stats = cube.cell(sa=sa)
+        if stats is None:
+            continue
+        points.append(
+            TrendPoint(
+                date=int(date),
+                population=stats.population,
+                minority=stats.minority,
+                proportion=(
+                    stats.minority / stats.population
+                    if stats.population else float("nan")
+                ),
+                n_units=stats.n_units,
+                values={name: stats.value(name) for name in names},
             )
         )
     return points

@@ -11,10 +11,13 @@ from repro.cube.builder import SegregationDataCubeBuilder, build_cube
 from repro.cube.cell import CellStats
 from repro.cube.compare import (
     CellComparison,
+    CellSeries,
     compare_cubes,
     comparison_rows,
     describe_aligned,
+    timeline_series,
 )
+from repro.cube.incremental import TemporalBuildState, TemporalCubeEngine
 from repro.cube.coordinates import (
     STAR,
     CellKey,
@@ -46,6 +49,7 @@ from repro.cube.naive import NaiveCubeBuilder
 __all__ = [
     "CellComparison",
     "CellKey",
+    "CellSeries",
     "CellStats",
     "CellTable",
     "CubeLike",
@@ -56,6 +60,8 @@ __all__ = [
     "STAR",
     "SegregationCube",
     "TableArrays",
+    "TemporalBuildState",
+    "TemporalCubeEngine",
     "SegregationDataCubeBuilder",
     "build_cube",
     "check_same_cells",
@@ -72,5 +78,6 @@ __all__ = [
     "parents_of",
     "simpson_reversals",
     "summarize_cube",
+    "timeline_series",
     "top_contexts",
 ]

@@ -131,9 +131,10 @@ class SegregationDataCubeBuilder:
     ):
         if mode not in ("all", "closed"):
             raise CubeError(f"mode must be 'all' or 'closed', got {mode!r}")
-        if engine not in ("columnar", "percell"):
+        if engine not in ("columnar", "percell", "incremental"):
             raise CubeError(
-                f"engine must be 'columnar' or 'percell', got {engine!r}"
+                "engine must be 'columnar', 'percell' or 'incremental', "
+                f"got {engine!r}"
             )
         self.indexes: list[IndexSpec] = resolve_indexes(indexes)
         self.min_population = min_population
@@ -163,16 +164,18 @@ class SegregationDataCubeBuilder:
             raise CubeError("transaction database has no unit labels")
         started = time.perf_counter()
         mined = self.mine_coordinates(db)
-        if self.engine == "columnar":
-            store = self._fill_columnar(db, mined)
-        else:
+        if self.engine == "percell":
             store = self._fill_percell(db, mined)
+        else:
+            # "incremental" cold-starts (and plain-builds) through the
+            # columnar fill; its delta path lives in cube/incremental.py.
+            store = self._fill_columnar(db, mined)
 
         metadata = CubeMetadata(
             index_names=[spec.name for spec in self.indexes],
             min_population=mined.minsup_pop,
             min_minority=mined.minsup_min,
-            n_rows=len(db),
+            n_rows=db.n_active,
             n_units=db.n_units,
             mode=self.mode,
             backend=self.backend,
@@ -234,8 +237,8 @@ class SegregationDataCubeBuilder:
         part empty, filtered by ``min_population`` later) are not lost
         when ``min_minority`` exceeds ``min_population``.
         """
-        minsup_pop = absolute_minsup(self.min_population, len(db))
-        minsup_min = absolute_minsup(self.min_minority, len(db))
+        minsup_pop = absolute_minsup(self.min_population, db.n_active)
+        minsup_min = absolute_minsup(self.min_minority, db.n_active)
 
         context_covers = mine_eclat(
             db,
@@ -244,7 +247,7 @@ class SegregationDataCubeBuilder:
             max_len=self.max_ca_items,
             with_covers=True,
         )
-        if len(db) >= minsup_pop:
+        if db.n_active >= minsup_pop:
             # The root (empty) context is added by hand, so it is the
             # only cover that can sit below min_population — mined
             # contexts already satisfy it via eclat's frequency bound.

@@ -1,4 +1,4 @@
-"""Cross-cube comparison: the demo's Italy-vs-Estonia discussion, as code.
+"""Cross-cube comparison: two populations, or one population over time.
 
 The demonstration closes with "a cross-comparison of the Italian vs
 Estonian segregation findings" (paper §4).  Two cubes built over
@@ -7,10 +7,18 @@ differ); cells are aligned on their *decoded* coordinates —
 ``attribute=value`` pairs — and compared index by index.  Counts and
 index values are read straight off the cubes' columnar stores; no
 per-cell objects are materialised during the join.
+
+The same alignment generalises a pairwise comparison to a **timeline
+mode**: :func:`timeline_series` walks a
+:class:`~repro.store.timeline.CubeTimeline` (a dated sequence of
+snapshots, typically incremental deltas) and emits one
+:class:`CellSeries` per aligned coordinate — the per-cell trend the
+temporal workload (paper §3) asks for, with the biggest movers first.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -115,3 +123,104 @@ def comparison_rows(
         [c.description, c.left_value, c.right_value, c.delta]
         for c in selected
     ]
+
+
+# ----------------------------------------------------------------------
+# Timeline mode: one coordinate tracked across a dated cube sequence
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CellSeries:
+    """One aligned coordinate's index trajectory across timeline dates.
+
+    ``values[k]`` is the index at ``dates[k]`` — nan where the cell is
+    not materialised (or the index undefined) at that date; likewise
+    ``populations[k]`` is 0 there.
+    """
+
+    description: str
+    index_name: str
+    dates: "tuple[int, ...]"
+    values: "tuple[float, ...]"
+    populations: "tuple[int, ...]"
+
+    @property
+    def n_defined(self) -> int:
+        """Dates at which the cell exists with a defined index."""
+        return sum(1 for v in self.values if not math.isnan(v))
+
+    @property
+    def spread(self) -> float:
+        """Max minus min defined value (nan when fewer than 2 points)."""
+        defined = [v for v in self.values if not math.isnan(v)]
+        if len(defined) < 2:
+            return float("nan")
+        return max(defined) - min(defined)
+
+    @property
+    def delta(self) -> float:
+        """Last defined value minus first defined value (nan if < 2)."""
+        defined = [v for v in self.values if not math.isnan(v)]
+        if len(defined) < 2:
+            return float("nan")
+        return defined[-1] - defined[0]
+
+
+def timeline_series(
+    timeline,
+    index_name: str = "D",
+    min_minority: int = 0,
+    min_points: int = 2,
+) -> "list[CellSeries]":
+    """Per-cell trend series over a dated sequence of cubes.
+
+    ``timeline`` is anything yielding ``(date, cube)`` pairs in date
+    order — a :class:`~repro.store.timeline.CubeTimeline`, or a plain
+    list of pairs.  Cells are aligned on decoded coordinates exactly as
+    :func:`compare_cubes` aligns two cubes; a coordinate must be
+    materialised (index defined, minority guard satisfied) at
+    ``min_points`` dates or more to produce a series.  The result is
+    sorted by :attr:`CellSeries.spread` descending — the biggest movers
+    first — with the cell description breaking ties.
+    """
+    dates: "list[int]" = []
+    per_key: "dict[AlignedKey, dict[int, tuple[float, int]]]" = {}
+    for date, cube in timeline:
+        dates.append(int(date))
+        table = cube.table
+        col = table.columns.get(index_name)
+        if col is None:
+            continue
+        ok = ~np.isnan(col) & (table.minority >= min_minority)
+        for i in np.flatnonzero(ok):
+            aligned = _aligned_key(cube, table.keys[i])
+            per_key.setdefault(aligned, {})[int(date)] = (
+                float(col[i]), int(table.population[i])
+            )
+    out: "list[CellSeries]" = []
+    for aligned, by_date in per_key.items():
+        if len(by_date) < min_points:
+            continue
+        values = tuple(
+            by_date[d][0] if d in by_date else float("nan") for d in dates
+        )
+        populations = tuple(
+            by_date[d][1] if d in by_date else 0 for d in dates
+        )
+        out.append(
+            CellSeries(
+                description=describe_aligned(aligned),
+                index_name=index_name,
+                dates=tuple(dates),
+                values=values,
+                populations=populations,
+            )
+        )
+    out.sort(
+        key=lambda s: (
+            -s.spread if not math.isnan(s.spread) else float("inf"),
+            s.description,
+        )
+    )
+    return out

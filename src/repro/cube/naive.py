@@ -69,8 +69,8 @@ class NaiveCubeBuilder:
             raise CubeError("transaction database has no unit labels")
         started = time.perf_counter()
         inner = self._inner
-        minsup_pop = absolute_minsup(inner.min_population, len(db))
-        minsup_min = absolute_minsup(inner.min_minority, len(db))
+        minsup_pop = absolute_minsup(inner.min_population, db.n_active)
+        minsup_min = absolute_minsup(inner.min_minority, db.n_active)
 
         sa_ids = db.dictionary.sa_ids
         ca_ids = db.dictionary.ca_ids
@@ -108,7 +108,7 @@ class NaiveCubeBuilder:
             index_names=[spec.name for spec in inner.indexes],
             min_population=minsup_pop,
             min_minority=minsup_min,
-            n_rows=len(db),
+            n_rows=db.n_active,
             n_units=db.n_units,
             mode="naive",
             backend="enumeration",

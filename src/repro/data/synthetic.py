@@ -153,3 +153,81 @@ def random_final_table(
         multi_valued=list(multi_valued_ca),
     )
     return table, schema
+
+
+def random_temporal_final_table(
+    n_rows: int,
+    n_units: int,
+    dates: "tuple[int, ...]" = (0, 1, 2),
+    sa_attributes: "dict[str, int] | None" = None,
+    ca_attributes: "dict[str, int] | None" = None,
+    multi_valued_ca: "dict[str, int] | None" = None,
+    seed: int = 0,
+    skew: float = 0.0,
+    max_churn: float = 0.05,
+) -> "tuple[Table, Schema, np.ndarray, np.ndarray]":
+    """A random ``finalTable`` with per-row validity intervals.
+
+    Built on :func:`random_final_table`; additionally every row gets a
+    half-open validity interval over ``dates`` so the table can be
+    snapshotted per date (the temporal workload).  Churn is **localized
+    the way real registries churn**: only rows whose context is the
+    first value of every single-valued CA attribute (and whose
+    multi-valued CA sets are empty) ever start or end between dates —
+    think "board turnover concentrated in one county's dominant sector".
+    All other rows are valid throughout, so most contexts are provably
+    untouched between consecutive dates, which is the workload the
+    incremental cube fill exploits (benchmark E19).
+
+    Per consecutive date pair, at most ``max_churn * n_rows`` rows
+    change validity (half leaving, half joining), bounded also by the
+    size of the churn-eligible pool.
+
+    Returns ``(table, schema, starts, ends)`` with sentinel-encoded
+    open bounds (see :mod:`repro.etl.diff`), row-aligned with the table.
+    """
+    from repro.etl.diff import OPEN_END, OPEN_START
+
+    if len(dates) < 2:
+        raise ReproError("temporal table needs at least two dates")
+    if sorted(dates) != list(dates) or len(set(dates)) != len(dates):
+        raise ReproError("dates must be strictly increasing")
+    if not 0 < max_churn <= 1:
+        raise ReproError("max_churn must be in (0, 1]")
+    ca_attributes = ca_attributes or {"region": 3}
+    multi_valued_ca = multi_valued_ca or {}
+    table, schema = random_final_table(
+        n_rows=n_rows,
+        n_units=n_units,
+        sa_attributes=sa_attributes,
+        ca_attributes=ca_attributes,
+        multi_valued_ca=multi_valued_ca,
+        seed=seed,
+        skew=skew,
+    )
+    pool_mask = np.ones(n_rows, dtype=bool)
+    for name in ca_attributes:
+        pool_mask &= table.categorical(name).mask_eq(f"{name}0")
+    for name in multi_valued_ca:
+        pool_mask &= np.fromiter(
+            (len(v) == 0 for v in table.multivalued(name).values()),
+            dtype=bool, count=n_rows,
+        )
+
+    rng = np.random.default_rng(seed + 1)
+    pool = rng.permutation(np.flatnonzero(pool_mask))
+    starts = np.full(n_rows, OPEN_START, dtype=np.int64)
+    ends = np.full(n_rows, OPEN_END, dtype=np.int64)
+    n_steps = len(dates) - 1
+    per_kind = min(
+        int(max_churn * n_rows) // 2 or 1, len(pool) // (2 * n_steps)
+    )
+    cursor = 0
+    for step in range(1, len(dates)):
+        leavers = pool[cursor:cursor + per_kind]
+        cursor += per_kind
+        joiners = pool[cursor:cursor + per_kind]
+        cursor += per_kind
+        ends[leavers] = dates[step]
+        starts[joiners] = dates[step]
+    return table, schema, starts, ends

@@ -11,6 +11,13 @@ from repro.etl.builder import (
     tabular_final_table,
 )
 from repro.etl.csvio import read_table, write_rows, write_table
+from repro.etl.diff import (
+    OPEN_END,
+    OPEN_START,
+    TableDiff,
+    interval_bounds,
+    valid_at,
+)
 from repro.etl.sqlio import read_query, write_table_sql
 from repro.etl.discretize import (
     PAPER_AGE_EDGES,
@@ -44,21 +51,26 @@ __all__ = [
     "Interval",
     "MembershipEdge",
     "MultiValuedColumn",
+    "OPEN_END",
+    "OPEN_START",
     "PAPER_AGE_EDGES",
     "Role",
     "Schema",
     "Table",
+    "TableDiff",
     "TemporalMembership",
     "UNIT_COLUMN",
     "bin_labels",
     "build_final_table",
     "discretize",
     "equal_width_edges",
+    "interval_bounds",
     "paper_age_column",
     "quantile_edges",
     "read_query",
     "read_table",
     "tabular_final_table",
+    "valid_at",
     "write_rows",
     "write_table_sql",
     "write_table",

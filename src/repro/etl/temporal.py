@@ -125,3 +125,20 @@ class TemporalMembership:
         starts = [e.interval.start for e in self._edges if e.interval.start is not None]
         ends = [e.interval.end for e in self._edges if e.interval.end is not None]
         return (min(starts) if starts else None, max(ends) if ends else None)
+
+    def dates(self) -> "list[int]":
+        """Sorted set of all finite interval endpoints.
+
+        The membership relation only changes at an interval boundary, so
+        these are the *natural* snapshot dates (the paper's ``dates``
+        input): evaluating at every returned date observes every
+        distinct membership state the data can produce.  Open (``None``)
+        bounds contribute no endpoint.
+        """
+        endpoints: set[int] = set()
+        for edge in self._edges:
+            if edge.interval.start is not None:
+                endpoints.add(edge.interval.start)
+            if edge.interval.end is not None:
+                endpoints.add(edge.interval.end)
+        return sorted(endpoints)

@@ -25,6 +25,7 @@ def mine_eclat(
     items: "list[int] | None" = None,
     max_len: "int | None" = None,
     with_covers: bool = False,
+    within: "Cover | None" = None,
 ) -> "dict[Itemset, int] | dict[Itemset, Cover]":
     """Mine all frequent itemsets (support >= ``minsup``), depth-first.
 
@@ -37,6 +38,12 @@ def mine_eclat(
     with_covers:
         When True the result maps itemsets to their covers
         (support = ``cover.support()``); otherwise to integer supports.
+    within:
+        Optional root cover: supports and covers are evaluated inside
+        this transaction subset only (every item cover is intersected
+        with it before the DFS).  The incremental cube fill uses this
+        to mine the SA refinements of one context without touching
+        rows outside the context's cover.
 
     Notes
     -----
@@ -49,11 +56,13 @@ def mine_eclat(
         raise MiningError(f"minsup must be >= 1, got {minsup}")
     covers = db.covers()
     candidate_ids = list(items) if items is not None else list(range(db.n_items))
-    frequent = [
-        (i, covers[i], support)
-        for i, support in ((i, covers[i].support()) for i in candidate_ids)
-        if support >= minsup
-    ]
+
+    frequent = []
+    for i in candidate_ids:
+        cover = covers[i] if within is None else covers[i] & within
+        support = cover.support()
+        if support >= minsup:
+            frequent.append((i, cover, support))
     frequent.sort(key=lambda triple: triple[2])
 
     out_covers: dict[Itemset, Cover] = {}

@@ -95,7 +95,9 @@ def mine(
     """
     if backend not in BACKENDS:
         raise MiningError(f"unknown backend {backend!r}; choose from {BACKENDS}")
-    threshold = absolute_minsup(minsup, len(db))
+    # Fractions resolve against the *live* rows so restricted views
+    # (temporal snapshots) are thresholded at their own scale.
+    threshold = absolute_minsup(minsup, db.n_active)
     # Closedness of a size-k itemset depends on its (k+1)-supersets, so a
     # closed mine under a length cap must look one level deeper.
     mine_len = max_len + 1 if (closed and max_len is not None) else max_len

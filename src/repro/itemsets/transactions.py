@@ -134,10 +134,75 @@ class TransactionDatabase:
         self._covers: dict[int, Cover] | None = None
         self._unit_order: np.ndarray | None = None
         self._unit_indptr: np.ndarray | None = None
+        self._active: Cover | None = None
+
+    def restrict(self, active: "Cover | np.ndarray") -> "TransactionDatabase":
+        """A view of this database with only ``active`` rows live.
+
+        The restricted view keeps the *same row universe* (covers stay
+        ``len(self)`` bits wide, unit labels and item ids are shared),
+        but every item cover is intersected with ``active`` and the
+        empty itemset's cover *is* ``active`` — so supports, mined
+        itemsets and per-unit counts all describe the active subset
+        only.  This is the temporal-snapshot primitive: encode the
+        union-of-all-dates table once, then restrict it per snapshot
+        date; covers of two dates remain directly comparable because
+        they index the same rows (see :mod:`repro.cube.incremental`).
+
+        Construction is cheap — one cover AND per item — and the
+        unit→rows grouping is shared with the base database.  The
+        horizontal ``rows`` view is not available on a restricted
+        database (it would expose inactive rows), so the cover-free
+        mining backends (fpgrowth/apriori) reject it.
+        """
+        flags = (
+            active.to_bools() if isinstance(active, Cover)
+            else np.asarray(active, dtype=bool)
+        )
+        if len(flags) != len(self):
+            raise MiningError(
+                f"active mask of {len(flags)} rows does not match "
+                f"database of {len(self)}"
+            )
+        active_cover = self.as_cover(flags)
+        if self._active is not None:
+            # Restricting a restricted view composes: the item covers
+            # below are already intersected with the base restriction,
+            # so the active set must be too.
+            active_cover = self._active & active_cover
+        db = TransactionDatabase.__new__(TransactionDatabase)
+        db._indptr = self._indptr
+        db._indices = self._indices
+        db.dictionary = self.dictionary
+        db.codec = self.codec
+        db.units = self.units
+        db._rows = None
+        db._covers = {
+            i: cover & active_cover for i, cover in self.covers().items()
+        }
+        if self.units is not None:
+            self._unit_grouping()
+        db._unit_order = self._unit_order
+        db._unit_indptr = self._unit_indptr
+        db._active = active_cover
+        return db
+
+    @property
+    def n_active(self) -> int:
+        """Number of live transactions (all of them unless restricted)."""
+        if self._active is None:
+            return len(self)
+        return self._active.support()
 
     @property
     def rows(self) -> "list[tuple[int, ...]]":
         """Horizontal view: one sorted item-id tuple per transaction."""
+        if self._active is not None:
+            raise MiningError(
+                "the horizontal rows view is unavailable on a restricted "
+                "database (it would expose inactive rows); mine restricted "
+                "databases with the cover-based eclat backend"
+            )
         if self._rows is None:
             indptr, indices = self._indptr, self._indices
             self._rows = [
@@ -162,6 +227,12 @@ class TransactionDatabase:
 
     def item_supports(self) -> np.ndarray:
         """Support (transaction count) of every single item, vectorized."""
+        if self._active is not None:
+            covers = self.covers()
+            return np.fromiter(
+                (covers[i].support() for i in range(self.n_items)),
+                dtype=np.int64, count=self.n_items,
+            )
         return np.bincount(self._indices, minlength=self.n_items)
 
     def covers(self) -> "dict[int, Cover]":
@@ -190,7 +261,13 @@ class TransactionDatabase:
         return self._covers
 
     def full_cover(self) -> Cover:
-        """The all-true cover (the empty itemset's cover)."""
+        """The empty itemset's cover: every live transaction.
+
+        All rows for a plain database; the active subset for a
+        restricted view (see :meth:`restrict`).
+        """
+        if self._active is not None:
+            return self._active
         return get_codec(self.codec).ones(len(self))
 
     def as_cover(self, value: "Cover | np.ndarray") -> Cover:

@@ -1,4 +1,4 @@
-"""CLI for serving a cube snapshot without rebuilding anything.
+"""CLI for serving a cube snapshot — or a timeline of them.
 
 Examples (after ``dump_snapshot(cube, "snap/")``)::
 
@@ -9,6 +9,15 @@ Examples (after ``dump_snapshot(cube, "snap/")``)::
     python -m repro.serve snap/ pivot --index D --rows ethnicity --cols city
     python -m repro.serve snap/ top --json          # machine-readable
     python -m repro.serve snap/ info --no-mmap      # load into memory
+
+A *timeline* directory (integer-named snapshot subdirectories, written
+by :func:`repro.store.dump_into_timeline`) serves the same commands
+routed to one date — the latest unless ``--date`` picks another — plus
+a per-date ``trend`` of one cell::
+
+    python -m repro.serve timeline/ info
+    python -m repro.serve timeline/ top --date 2005
+    python -m repro.serve timeline/ trend --index D --sa gender=F
 
 Coordinates are ``attribute=value`` pairs, repeatable: ``--sa sex=F
 --sa age=young --ca region=north``.  All commands are read-only.
@@ -149,6 +158,13 @@ def build_parser() -> argparse.ArgumentParser:
     pivot.add_argument("--ca", action="append", metavar="ATTR=VALUE")
     pivot.add_argument("--digits", type=int, default=2)
 
+    trend = sub.add_parser(
+        "trend", help="one cell's index value per timeline date"
+    )
+    trend.add_argument("--index", default="D")
+    trend.add_argument("--sa", action="append", metavar="ATTR=VALUE")
+    trend.add_argument("--ca", action="append", metavar="ATTR=VALUE")
+
     for cmd in sub.choices.values():
         cmd.add_argument(
             "--json", action="store_true", help="emit JSON instead of text"
@@ -157,13 +173,19 @@ def build_parser() -> argparse.ArgumentParser:
             "--no-mmap", action="store_true",
             help="load columns into memory instead of memory-mapping them",
         )
+        cmd.add_argument(
+            "--date", type=int, default=None,
+            help="timeline date to serve (default: the latest)",
+        )
     return parser
 
 
 def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        service = CubeService(args.snapshot, mmap=not args.no_mmap)
+        service = CubeService(
+            args.snapshot, mmap=not args.no_mmap, date=args.date
+        )
         if args.command == "info":
             info = service.info()
             if args.json:
@@ -225,6 +247,29 @@ def main(argv: "list[str] | None" = None) -> int:
                 print("(no such cell)" if not args.json else "null")
                 return 1
             _print_cells(service, [stats], args.json)
+        elif args.command == "trend":
+            series = service.trend(
+                index_name=args.index,
+                sa=_typed_coordinates(service, _coordinates(args.sa)),
+                ca=_typed_coordinates(service, _coordinates(args.ca)),
+            )
+            if args.json:
+                print(json.dumps(
+                    [
+                        {
+                            "date": date,
+                            "index": args.index,
+                            "value": None if math.isnan(value) else value,
+                        }
+                        for date, value in series
+                    ],
+                    indent=2,
+                ))
+            else:
+                print(render_table(
+                    ["date", args.index],
+                    [[date, value] for date, value in series],
+                ))
         elif args.command == "pivot":
             sa = _typed_coordinates(service, _coordinates(args.sa))
             ca = _typed_coordinates(service, _coordinates(args.ca))

@@ -1,13 +1,18 @@
 """CubeService: the read-only serving facade over a cube or snapshot.
 
-One service instance wraps either a live
-:class:`~repro.cube.cube.SegregationCube` or a snapshot directory
+One service instance wraps a live
+:class:`~repro.cube.cube.SegregationCube`, a snapshot directory
 (opened via :func:`repro.store.open_snapshot`, memory-mapped by
-default).  Construction *warms* the table's derived lookup structures —
-decoded keys, size vectors, the hash row index — so that afterwards
-every query path is a pure read over immutable arrays and dicts: safe
-for any number of concurrent reader threads, verified by the
-thread-pool test in ``tests/test_serve_service.py``.
+default) or a **timeline** directory of dated snapshots — a path
+without a top-level manifest is treated as a
+:class:`~repro.store.timeline.CubeTimeline` and the ``date`` argument
+routes queries to one dated cube (latest by default); the other dates
+stay one :meth:`trend` call away.  Construction *warms* the served
+cube's derived lookup structures — decoded keys, size vectors, the
+hash row index — so that afterwards every query path is a pure read
+over immutable arrays and dicts: safe for any number of concurrent
+reader threads, verified by the thread-pool test in
+``tests/test_serve_service.py``.
 """
 
 from __future__ import annotations
@@ -20,8 +25,21 @@ from repro.cube.cell import CellStats
 from repro.cube.coordinates import CellKey, encode_query
 from repro.cube.cube import SegregationCube
 from repro.cube.explorer import Discovery, summarize_cube, top_contexts
+from repro.errors import SnapshotError
 
 Coordinates = Union[Mapping[str, object], None]
+
+
+def _warm(cube: SegregationCube) -> SegregationCube:
+    # Build all lazy derived state up front: once warmed, queries
+    # never write to shared structures.  For live closed-mode cubes
+    # that includes the resolver's transaction-database caches
+    # (item covers, unit grouping), which are also built lazily.
+    cube.table.warm()
+    resolver_warm = getattr(getattr(cube, "_resolver", None), "warm", None)
+    if callable(resolver_warm):
+        resolver_warm()
+    return cube
 
 
 class CubeService:
@@ -31,29 +49,52 @@ class CubeService:
         self,
         source: "SegregationCube | str | Path",
         mmap: bool = True,
+        date: "int | None" = None,
     ):
+        self._timeline = None
+        self._date: "int | None" = None
         if isinstance(source, (str, Path)):
+            from repro.store.manifest import MANIFEST_NAME
             from repro.store.snapshot import open_snapshot
+            from repro.store.timeline import CubeTimeline
 
-            cube = open_snapshot(source, mmap=mmap)
+            path = Path(source)
+            if (path / MANIFEST_NAME).is_file():
+                if date is not None:
+                    raise SnapshotError(
+                        f"{path} is a single snapshot; date routing needs "
+                        "a timeline directory of dated snapshots"
+                    )
+                cube = open_snapshot(path, mmap=mmap)
+            else:
+                self._timeline = CubeTimeline(path, mmap=mmap)
+                self._date = (
+                    int(date) if date is not None
+                    else self._timeline.dates[-1]
+                )
+                cube = self._timeline.at(self._date)
         else:
+            if date is not None:
+                raise SnapshotError(
+                    "date routing needs a timeline directory, not a live "
+                    "cube"
+                )
             cube = source
-        # Build all lazy derived state up front: once warmed, queries
-        # never write to shared structures.  For live closed-mode cubes
-        # that includes the resolver's transaction-database caches
-        # (item covers, unit grouping), which are also built lazily.
-        cube.table.warm()
-        resolver_warm = getattr(
-            getattr(cube, "_resolver", None), "warm", None
-        )
-        if callable(resolver_warm):
-            resolver_warm()
-        self._cube = cube
+        self._cube = _warm(cube)
 
     @property
     def cube(self) -> SegregationCube:
         """The served cube (live or snapshot-backed)."""
         return self._cube
+
+    @property
+    def date(self) -> "int | None":
+        """The served snapshot date (None unless timeline-backed)."""
+        return self._date
+
+    def dates(self) -> "list[int]":
+        """All timeline dates ([] when not timeline-backed)."""
+        return self._timeline.dates if self._timeline is not None else []
 
     # ------------------------------------------------------------------
     # Queries
@@ -70,7 +111,33 @@ class CubeService:
         snapshot = metadata.extra.get("snapshot")
         if snapshot is not None:
             out["snapshot"] = snapshot
+        if self._timeline is not None:
+            out["timeline"] = {
+                "dates": self._timeline.dates,
+                "served_date": self._date,
+            }
         return out
+
+    def trend(
+        self,
+        index_name: str = "D",
+        sa: Coordinates = None,
+        ca: Coordinates = None,
+    ) -> "list[tuple[int, float]]":
+        """One cell's index value at every timeline date.
+
+        Timeline-backed services only: each date's cube answers the
+        same user-level coordinate query (nan where the cell is absent
+        or the index undefined at that date).
+        """
+        if self._timeline is None:
+            raise SnapshotError(
+                "trend queries need a timeline directory of dated snapshots"
+            )
+        return [
+            (date, cube.value(index_name, sa=sa, ca=ca))
+            for date, cube in self._timeline
+        ]
 
     def top(
         self,

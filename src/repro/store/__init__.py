@@ -10,33 +10,53 @@ memory-mapped, as a fully functional read-only
 :class:`~repro.cube.cube.SegregationCube`.
 
 * :mod:`repro.store.manifest` — the manifest format (versioned,
-  validated, JSON).
+  validated, JSON, with an optional ``delta`` section).
 * :mod:`repro.store.snapshot` — :func:`dump_snapshot`,
-  :func:`open_snapshot`, :func:`validate_snapshot`.
+  :func:`dump_delta_snapshot`, :func:`open_snapshot`,
+  :func:`validate_snapshot`.
+* :mod:`repro.store.timeline` — :class:`CubeTimeline` /
+  :func:`dump_into_timeline`: a dated directory of snapshots where
+  each date after the first is a *delta* storing only the cells that
+  changed (plus the superseded parent rows, keyed by their packed cell
+  bitmasks), so a temporal sequence of cubes shares unchanged column
+  bytes instead of duplicating them per date.
 
 Invariant: for any built cube, ``open_snapshot(dump_snapshot(cube))``
 yields identical cells (``check_same_cells`` at ``atol=0``) and
 identical ``top``/``slice``/pivot outputs, whether opened in memory or
-memory-mapped.  Lazily-resolved closed-mode queries are the one
-exception: the resolver needs the transaction covers, which a snapshot
-does not carry, so reopened cubes answer point queries for
+memory-mapped — and the same holds for a delta snapshot resolved
+through its parent chain.  Lazily-resolved closed-mode queries are the
+one exception: the resolver needs the transaction covers, which a
+snapshot does not carry, so reopened cubes answer point queries for
 *materialised* cells only.
 """
 
 from repro.store.manifest import FORMAT_VERSION, MANIFEST_NAME, SnapshotManifest
 from repro.store.snapshot import (
+    dump_delta_snapshot,
     dump_snapshot,
     open_snapshot,
     snapshot_files,
+    table_digest,
     validate_snapshot,
+)
+from repro.store.timeline import (
+    CubeTimeline,
+    dump_into_timeline,
+    timeline_dates,
 )
 
 __all__ = [
+    "CubeTimeline",
     "FORMAT_VERSION",
     "MANIFEST_NAME",
     "SnapshotManifest",
+    "dump_delta_snapshot",
+    "dump_into_timeline",
     "dump_snapshot",
     "open_snapshot",
     "snapshot_files",
+    "table_digest",
+    "timeline_dates",
     "validate_snapshot",
 ]

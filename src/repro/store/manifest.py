@@ -144,6 +144,18 @@ class SnapshotManifest:
     items: "list[dict[str, object]]"   # typed vocabulary, id order
     metadata: "dict[str, object]"      # CubeMetadata fields
     arrays: "dict[str, ArrayInfo]" = field(default_factory=dict)
+    #: Delta snapshots only: ``{"parent": <relative path>,
+    #: "n_superseded": <parent rows replaced or deleted>}``.  A delta
+    #: directory stores just its own (new/changed) cell rows plus the
+    #: packed key bitmasks of the parent rows it supersedes; readers
+    #: resolve the parent chain (see repro.store.snapshot).
+    delta: "dict[str, object] | None" = None
+    #: Row-order-independent digest of the snapshot's *resolved* cell
+    #: content (for a delta: the full composed table, not just the rows
+    #: stored here).  Lets a delta writer verify a caller-supplied
+    #: parent cube against the on-disk parent without resolving its
+    #: chain, and lets readers verify a composed chain end-to-end.
+    content_digest: "str | None" = None
 
     # -- construction ---------------------------------------------------
 
@@ -233,6 +245,24 @@ class SnapshotManifest:
             raise SnapshotError(
                 f"manifest is missing required fields: {', '.join(missing)}"
             )
+        delta_raw = payload.get("delta")
+        delta: "dict[str, object] | None" = None
+        if delta_raw is not None:
+            if not isinstance(delta_raw, dict):
+                raise SnapshotError("manifest 'delta' must be an object")
+            try:
+                delta = {
+                    "parent": str(delta_raw["parent"]),
+                    "n_superseded": int(delta_raw["n_superseded"]),
+                }
+            except (KeyError, TypeError, ValueError) as exc:
+                raise SnapshotError(
+                    f"malformed delta section {delta_raw!r}"
+                ) from exc
+            if int(delta["n_superseded"]) < 0:
+                raise SnapshotError(
+                    "delta 'n_superseded' must be non-negative"
+                )
         arrays_raw = payload["arrays"]
         if not isinstance(arrays_raw, dict):
             raise SnapshotError("manifest 'arrays' must be an object")
@@ -258,6 +288,11 @@ class SnapshotManifest:
             items=list(payload["items"]),
             metadata=dict(payload["metadata"]),
             arrays=arrays,
+            delta=delta,
+            content_digest=(
+                str(payload["content_digest"])
+                if payload.get("content_digest") is not None else None
+            ),
         )
 
     def write(self, directory: "str | Path") -> Path:

@@ -1,27 +1,43 @@
-"""Snapshot self-check: build → dump → reopen (mmap) → assert parity.
+"""Snapshot self-checks: round-trip and timeline parity, CI-runnable.
 
-The CI smoke for the store/serve stack, runnable anywhere::
+Two smokes for the store/serve stack, runnable anywhere::
 
     python -m repro.store.selfcheck artifacts/cube_snapshot
+    python -m repro.store.selfcheck artifacts/cube_snapshot artifacts/cube_timeline
 
-Builds a small cube from the bundled schools dataset, dumps it to the
-given directory, reopens it memory-mapped, and fails loudly (exit 1)
-unless the reopened cube is cell-identical (``check_same_cells`` at
-atol=0) with identical top-k output.  The snapshot directory is left in
-place so the CI job can upload it as an artifact.
+The first argument drives the single-snapshot check: build a small cube
+from the bundled schools dataset, dump it, reopen it memory-mapped, and
+fail loudly (exit 1) unless the reopened cube is cell-identical
+(``check_same_cells`` at atol=0) with identical top-k output.
+
+The optional second argument drives the timeline check: build three
+synthetic snapshot dates through the incremental engine
+(:mod:`repro.cube.incremental`), dump date 0 full and the rest as
+*delta* snapshots, reopen every date through the parent chain, and fail
+unless each reopened cube is bit-identical both to the live incremental
+cube and to a from-scratch columnar build at that date.
+
+Both directories are left in place so the CI job can upload them as
+artifacts.
 """
 
 from __future__ import annotations
 
 import sys
 
-from repro.cube.builder import build_cube
+from repro.cube.builder import SegregationDataCubeBuilder, build_cube
 from repro.cube.cube import check_same_cells
+from repro.cube.incremental import TemporalCubeEngine
 from repro.data.schools import generate_schools
+from repro.data.synthetic import random_temporal_final_table
+from repro.etl.diff import valid_at
+from repro.itemsets.transactions import encode_table
 from repro.store.snapshot import dump_snapshot, open_snapshot, validate_snapshot
+from repro.store.timeline import CubeTimeline, dump_into_timeline
 
 
 def run(path: str) -> int:
+    """Single-snapshot check: build → dump → mmap reopen → parity."""
     table, schema = generate_schools()
     live = build_cube(table, schema, min_population=10, min_minority=3)
     dump_snapshot(live, path)
@@ -45,9 +61,77 @@ def run(path: str) -> int:
     return 0
 
 
+def run_timeline(path: str) -> int:
+    """Timeline check: build → delta-dump → chain reopen → parity x3."""
+    dates = (0, 1, 2)
+    limits = {"min_population": 10, "min_minority": 3,
+              "max_sa_items": 2, "max_ca_items": 2}
+    table, schema, starts, ends = random_temporal_final_table(
+        n_rows=4000, n_units=12, dates=dates,
+        sa_attributes={"g": 2, "a": 3},
+        ca_attributes={"r": 4, "s": 3},
+        multi_valued_ca={"mv": 3},
+        seed=5, skew=0.5,
+    )
+    db = encode_table(table, schema)
+    engine = TemporalCubeEngine(
+        db, SegregationDataCubeBuilder(engine="incremental", **limits)
+    )
+    states = engine.run(
+        [(d, valid_at(starts, ends, d)) for d in dates]
+    )
+    previous = None
+    for state in states:
+        dump_into_timeline(
+            path, state.date, state.cube,
+            parent_date=None if previous is None else previous.date,
+            parent=None if previous is None else previous.cube,
+        )
+        previous = state
+
+    timeline = CubeTimeline(path)
+    failures = 0
+    for state in states:
+        reopened = timeline.at(state.date)
+        scratch = SegregationDataCubeBuilder(
+            **limits
+        ).build_from_transactions(db.restrict(valid_at(starts, ends,
+                                                       state.date)))
+        for label, against in (("live", state.cube), ("scratch", scratch)):
+            problems = check_same_cells(reopened, against, atol=0.0)
+            for problem in problems[:10]:
+                print(
+                    f"TIMELINE PARITY FAILURE (date {state.date}, "
+                    f"vs {label}): {problem}",
+                    file=sys.stderr,
+                )
+            failures += len(problems)
+    if failures:
+        return 1
+    last = states[-1].cube.metadata.extra
+    print(
+        f"timeline selfcheck OK: {len(states)} dates, "
+        f"{len(states[-1].cube)} cells at date {states[-1].date} "
+        f"({last['n_carried_contexts']} contexts carried, "
+        f"{last['n_recomputed_contexts']} recomputed), chain-reopened "
+        "deltas == live == scratch at atol=0"
+    )
+    return 0
+
+
+def main(argv: "list[str]") -> int:
+    if len(argv) not in (2, 3):
+        print(
+            "usage: python -m repro.store.selfcheck <snapshot-dir> "
+            "[<timeline-dir>]",
+            file=sys.stderr,
+        )
+        return 2
+    status = run(argv[1])
+    if status == 0 and len(argv) == 3:
+        status = run_timeline(argv[2])
+    return status
+
+
 if __name__ == "__main__":
-    if len(sys.argv) != 2:
-        print("usage: python -m repro.store.selfcheck <snapshot-dir>",
-              file=sys.stderr)
-        sys.exit(2)
-    sys.exit(run(sys.argv[1]))
+    sys.exit(main(sys.argv))

@@ -1,0 +1,151 @@
+"""CubeTimeline: a dated directory of cube snapshots, deltas included.
+
+A timeline is a directory whose integer-named children are snapshot
+directories, one per snapshot date::
+
+    timeline/
+      1998/   full snapshot (the timeline root)
+      2003/   delta, parent ../1998
+      2008/   delta, parent ../2003
+      ...
+
+Each child is an ordinary :mod:`repro.store` snapshot — full or delta —
+so every date reopens through :func:`~repro.store.snapshot.open_snapshot`
+with the usual validation, and the whole tree relocates as one unit
+(delta parents are relative paths).  :class:`CubeTimeline` lists the
+dates, opens cubes lazily (caching them), and is what the serving layer
+(``CubeService(..., date=...)``), the timeline comparison
+(:func:`repro.cube.compare.timeline_series`) and the cube-backed trend
+(:func:`repro.core.trend.segregation_trend`) consume.
+
+:func:`dump_into_timeline` writes one dated entry: a full snapshot for
+the first date, a delta against the previous date's entry afterwards —
+the persistence half of the incremental temporal fill
+(:mod:`repro.cube.incremental`).
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+
+from repro.cube.cube import SegregationCube
+from repro.errors import SnapshotError
+from repro.store.manifest import MANIFEST_NAME
+from repro.store.snapshot import (
+    dump_delta_snapshot,
+    dump_snapshot,
+    open_snapshot,
+)
+
+
+def timeline_dates(root: "str | Path") -> "list[int]":
+    """Sorted snapshot dates found under a timeline directory."""
+    directory = Path(root)
+    if not directory.is_dir():
+        raise SnapshotError(f"timeline directory {directory} does not exist")
+    dates = []
+    for child in directory.iterdir():
+        if not child.is_dir() or not (child / MANIFEST_NAME).is_file():
+            continue
+        try:
+            dates.append(int(child.name))
+        except ValueError:
+            continue
+    return sorted(dates)
+
+
+def dump_into_timeline(
+    root: "str | Path",
+    date: int,
+    cube: SegregationCube,
+    parent_date: "int | None" = None,
+    parent: "SegregationCube | None" = None,
+) -> Path:
+    """Write one dated snapshot into a timeline directory.
+
+    With ``parent_date`` the entry is a *delta* against that date's
+    snapshot (pass ``parent`` when that cube is already open to skip
+    re-reading it); without, a full snapshot.
+    """
+    directory = Path(root) / str(int(date))
+    if parent_date is None:
+        return dump_snapshot(cube, directory)
+    parent_dir = Path(root) / str(int(parent_date))
+    return dump_delta_snapshot(cube, directory, parent_dir, parent=parent)
+
+
+class CubeTimeline:
+    """Read-only access to a dated sequence of cube snapshots.
+
+    Cubes open lazily on first access and are cached — including every
+    parent resolved along a delta chain, so walking an N-date timeline
+    composes each snapshot once (O(N) total, not O(N²)).  Opening is
+    serialized by a lock, making concurrent ``at()`` calls (e.g. the
+    serving layer's ``trend``) safe; once a cube is cached, access is a
+    pure read.
+    """
+
+    def __init__(self, root: "str | Path", mmap: bool = True):
+        self._root = Path(root)
+        self._mmap = mmap
+        self._dates = timeline_dates(self._root)
+        if not self._dates:
+            raise SnapshotError(
+                f"no dated snapshots under timeline directory {self._root}"
+            )
+        self._cubes: "dict[int, SegregationCube]" = {}
+        #: Every snapshot resolved so far, keyed by resolved directory —
+        #: shared with open_snapshot so delta chains reuse it.
+        self._resolved: "dict[Path, SegregationCube]" = {}
+        self._lock = threading.Lock()
+
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    @property
+    def dates(self) -> "list[int]":
+        """All snapshot dates, ascending."""
+        return list(self._dates)
+
+    def __len__(self) -> int:
+        return len(self._dates)
+
+    def __contains__(self, date: int) -> bool:
+        return date in set(self._dates)
+
+    def path_of(self, date: int) -> Path:
+        """Directory of one date's snapshot."""
+        if date not in self:
+            raise SnapshotError(
+                f"timeline {self._root} has no snapshot for date {date}; "
+                f"available dates: {self._dates}"
+            )
+        return self._root / str(int(date))
+
+    def at(self, date: int) -> SegregationCube:
+        """The cube at one date (opened on first use, then cached)."""
+        path = self.path_of(date)
+        with self._lock:
+            if date not in self._cubes:
+                self._cubes[date] = open_snapshot(
+                    path, mmap=self._mmap, parents=self._resolved
+                )
+            return self._cubes[date]
+
+    def latest(self) -> SegregationCube:
+        """The cube at the most recent date."""
+        return self.at(self._dates[-1])
+
+    def __iter__(self):
+        """Yield ``(date, cube)`` pairs in date order."""
+        for date in self._dates:
+            yield date, self.at(date)
+
+    def __repr__(self) -> str:
+        first, last = self._dates[0], self._dates[-1]
+        return (
+            f"CubeTimeline({self._root}, {len(self._dates)} dates "
+            f"[{first}..{last}])"
+        )

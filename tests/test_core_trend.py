@@ -2,16 +2,25 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from repro.core.trend import (
     TrendPoint,
     segregation_trend,
     snapshot_seats_table,
+    temporal_seats_table,
     trend_rows,
 )
+from repro.cube.builder import SegregationDataCubeBuilder
+from repro.cube.incremental import TemporalCubeEngine
 from repro.data.estonia import EstoniaConfig, generate_estonia
 from repro.errors import ReproError
+from repro.etl.builder import tabular_final_table
+from repro.etl.diff import OPEN_END, OPEN_START, valid_at
+from repro.itemsets.transactions import encode_table
+from repro.store import CubeTimeline, dump_into_timeline
 
 
 @pytest.fixture(scope="module")
@@ -101,6 +110,99 @@ class TestTrendPoint:
     def test_value_accessor(self):
         point = TrendPoint(2000, 10, 3, 0.3, 2, {"D": 0.5})
         assert point.value("D") == 0.5
-        import math
-
         assert math.isnan(point.value("G"))
+
+
+class TestTemporalSeatsTable:
+    def test_one_row_per_edge_with_bounds(self, estonia):
+        table, schema, starts, ends = temporal_seats_table(estonia)
+        assert len(table) == len(estonia.membership)
+        assert len(starts) == len(ends) == len(table)
+        assert set(schema.sa_names) == {"gender", "age", "birthplace"}
+        assert set(schema.ca_names) == {"sector", "county"}
+
+    def test_masks_reproduce_snapshots(self, estonia):
+        table, _, starts, ends = temporal_seats_table(estonia)
+        for year in (2000, 2008):
+            mask = valid_at(starts, ends, year)
+            assert int(mask.sum()) == len(estonia.membership.snapshot(year))
+
+    def test_open_bounds_encoded_as_sentinels(self):
+        from repro.data.italy import generate_italy, ItalyConfig
+
+        italy = generate_italy(ItalyConfig(n_companies=50, seed=1))
+        _, _, starts, ends = temporal_seats_table(italy)
+        # Untimed memberships are valid forever.
+        assert (starts == OPEN_START).all()
+        assert (ends == OPEN_END).all()
+
+
+class TestTimelineTrendParity:
+    """The cube path must reproduce the recompute path exactly."""
+
+    @pytest.fixture(scope="class")
+    def trend_setup(self, tmp_path_factory):
+        dataset = generate_estonia(EstoniaConfig(n_companies=400, seed=4))
+        years = [2001, 2005, 2009]
+        seats, schema, starts, ends = temporal_seats_table(dataset)
+        final, final_schema = tabular_final_table(seats, schema, "sector")
+        db = encode_table(final, final_schema)
+        engine = TemporalCubeEngine(
+            db,
+            SegregationDataCubeBuilder(
+                engine="incremental", min_population=5, min_minority=2
+            ),
+        )
+        states = engine.run(
+            [(year, valid_at(starts, ends, year)) for year in years]
+        )
+        root = tmp_path_factory.mktemp("trend") / "timeline"
+        previous = None
+        for state in states:
+            dump_into_timeline(
+                root, state.date, state.cube,
+                parent_date=None if previous is None else previous.date,
+                parent=None if previous is None else previous.cube,
+            )
+            previous = state
+        return dataset, years, CubeTimeline(root)
+
+    def test_cube_path_matches_recompute_path(self, trend_setup):
+        dataset, years, timeline = trend_setup
+        recomputed = segregation_trend(
+            dataset, years, "sector", {"gender": "F"}
+        )
+        from_cubes = segregation_trend(
+            timeline, years, "sector", {"gender": "F"}
+        )
+        assert [p.date for p in from_cubes] == [p.date for p in recomputed]
+        for a, b in zip(recomputed, from_cubes):
+            assert a.population == b.population
+            assert a.minority == b.minority
+            assert a.n_units == b.n_units
+            assert a.proportion == pytest.approx(b.proportion)
+            assert set(a.values) == set(b.values)
+            for name, value in a.values.items():
+                assert value == b.values[name], (a.date, name)
+
+    def test_missing_dates_skipped(self, trend_setup):
+        _, years, timeline = trend_setup
+        points = segregation_trend(
+            timeline, [1700] + years, "sector", {"gender": "F"}
+        )
+        assert [p.date for p in points] == years
+
+    def test_conjunctive_subgroup_reads_deeper_cell(self, trend_setup):
+        _, years, timeline = trend_setup
+        broad = segregation_trend(timeline, years, "sector", {"gender": "F"})
+        narrow = segregation_trend(
+            timeline, years, "sector", {"gender": "F", "age": "39-46"}
+        )
+        assert narrow and narrow[0].minority < broad[0].minority
+
+    def test_index_subset_respected(self, trend_setup):
+        _, years, timeline = trend_setup
+        points = segregation_trend(
+            timeline, years, "sector", {"gender": "F"}, indexes=["D", "Iso"]
+        )
+        assert set(points[0].values) == {"D", "Iso"}

@@ -37,6 +37,41 @@ class TestInterval:
         assert not Interval(0, 10).overlaps(Interval(10, 15))
         assert Interval(None, None).overlaps(Interval(5, 6))
 
+    def test_contains_at_open_bounds_extremes(self):
+        assert Interval(None, 2005).contains(2004)
+        assert not Interval(None, 2005).contains(2005)
+        assert Interval(2000, None).contains(2000)
+        assert not Interval(2000, None).contains(1999)
+
+    def test_overlaps_two_open_starts(self):
+        # Both unbounded below: they always share (-inf, min(ends)).
+        assert Interval(None, 5).overlaps(Interval(None, 100))
+        assert Interval(None, 5).overlaps(Interval(None, 5))
+
+    def test_overlaps_two_open_ends(self):
+        # Both unbounded above: they always share (max(starts), inf).
+        assert Interval(5, None).overlaps(Interval(100, None))
+
+    def test_overlaps_open_start_meets_open_end(self):
+        # (-inf, 5) vs [5, inf): half-open adjacency is disjoint...
+        assert not Interval(None, 5).overlaps(Interval(5, None))
+        # ...but one instant of slack suffices.
+        assert Interval(None, 6).overlaps(Interval(5, None))
+
+    def test_overlaps_is_symmetric_with_open_bounds(self):
+        pairs = [
+            (Interval(None, 5), Interval(3, None)),
+            (Interval(0, 10), Interval(None, None)),
+            (Interval(None, 5), Interval(5, None)),
+        ]
+        for a, b in pairs:
+            assert a.overlaps(b) == b.overlaps(a)
+
+    def test_always_overlaps_everything(self):
+        for other in (Interval(0, 1), Interval(None, 0), Interval(0, None),
+                      Interval(None, None)):
+            assert ALWAYS.overlaps(other)
+
 
 class TestTemporalMembership:
     @pytest.fixture()
@@ -83,3 +118,20 @@ class TestTemporalMembership:
         membership.add(MembershipEdge(1, 2))
         assert len(membership) == 1
         assert list(membership)[0].individual == 1
+
+    def test_dates_are_sorted_unique_endpoints(self, membership):
+        # Intervals: [2000,2005), [2003,None), [None,2002), [None,None).
+        assert membership.dates() == [2000, 2002, 2003, 2005]
+
+    def test_dates_ignore_open_bounds(self):
+        membership = TemporalMembership.from_pairs([(0, 1), (2, 3)])
+        assert membership.dates() == []
+
+    def test_dates_enumerate_every_membership_state(self, membership):
+        # The relation only changes at an interval endpoint, so every
+        # state observable at any date in the span is witnessed by some
+        # endpoint date.
+        dates = membership.dates()
+        seen = {tuple(sorted(membership.snapshot(d))) for d in dates}
+        for d in range(min(dates), max(dates) + 1):
+            assert tuple(sorted(membership.snapshot(d))) in seen

@@ -1,0 +1,400 @@
+"""Tests of delta snapshots, the cube timeline, and timeline serving."""
+
+from __future__ import annotations
+
+import json
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.cube.builder import SegregationDataCubeBuilder
+from repro.cube.compare import timeline_series
+from repro.cube.cube import check_same_cells
+from repro.cube.incremental import TemporalCubeEngine
+from repro.data.synthetic import random_temporal_final_table
+from repro.errors import SnapshotError
+from repro.etl.diff import valid_at
+from repro.itemsets.transactions import encode_table
+from repro.serve.__main__ import main as serve_main
+from repro.serve.service import CubeService
+from repro.store import (
+    CubeTimeline,
+    MANIFEST_NAME,
+    dump_delta_snapshot,
+    dump_into_timeline,
+    dump_snapshot,
+    open_snapshot,
+    timeline_dates,
+    validate_snapshot,
+)
+
+DATES = (0, 1, 2)
+LIMITS = {"min_population": 20, "min_minority": 5,
+          "max_sa_items": 2, "max_ca_items": 2}
+
+
+@pytest.fixture(scope="module")
+def states():
+    table, schema, starts, ends = random_temporal_final_table(
+        n_rows=3000, n_units=12, dates=DATES,
+        sa_attributes={"g": 2, "a": 3},
+        ca_attributes={"r": 4, "s": 3},
+        multi_valued_ca={"mv": 3},
+        seed=5, skew=0.5,
+    )
+    db = encode_table(table, schema)
+    engine = TemporalCubeEngine(
+        db, SegregationDataCubeBuilder(engine="incremental", **LIMITS)
+    )
+    return engine.run(
+        [(d, valid_at(starts, ends, d)) for d in DATES]
+    )
+
+
+@pytest.fixture()
+def timeline_dir(states, tmp_path):
+    root = tmp_path / "timeline"
+    previous = None
+    for state in states:
+        dump_into_timeline(
+            root, state.date, state.cube,
+            parent_date=None if previous is None else previous.date,
+            parent=None if previous is None else previous.cube,
+        )
+        previous = state
+    return root
+
+
+class TestDeltaSnapshot:
+    def test_chain_reopen_is_bit_exact(self, states, timeline_dir):
+        for state in states:
+            reopened = open_snapshot(timeline_dir / str(state.date))
+            assert check_same_cells(state.cube, reopened, atol=0.0) == []
+
+    def test_delta_manifest_records_parent(self, timeline_dir):
+        manifest = validate_snapshot(timeline_dir / "1")
+        assert manifest.delta is not None
+        assert manifest.delta["parent"] == "../0"
+        assert manifest.delta["n_superseded"] >= 0
+        assert validate_snapshot(timeline_dir / "0").delta is None
+
+    def test_delta_stores_fewer_cells_than_full(self, states, timeline_dir):
+        full = validate_snapshot(timeline_dir / "0")
+        delta = validate_snapshot(timeline_dir / "1")
+        assert delta.n_cells < full.n_cells
+        assert delta.n_cells == len(states[1].cube) - (
+            full.n_cells - int(delta.delta["n_superseded"])
+        )
+
+    def test_timeline_is_relocatable(self, states, timeline_dir, tmp_path):
+        moved = tmp_path / "elsewhere" / "tl"
+        shutil.copytree(timeline_dir, moved)
+        reopened = open_snapshot(moved / "2")
+        assert check_same_cells(states[2].cube, reopened, atol=0.0) == []
+
+    def test_no_mmap_open_matches(self, states, timeline_dir):
+        reopened = open_snapshot(timeline_dir / "2", mmap=False)
+        assert check_same_cells(states[2].cube, reopened, atol=0.0) == []
+
+    def test_identical_cube_produces_empty_delta(self, states, tmp_path):
+        cube = states[0].cube
+        dump_snapshot(cube, tmp_path / "full")
+        dump_delta_snapshot(cube, tmp_path / "same", tmp_path / "full")
+        manifest = validate_snapshot(tmp_path / "same")
+        assert manifest.n_cells == 0
+        assert manifest.delta["n_superseded"] == 0
+        reopened = open_snapshot(tmp_path / "same")
+        assert check_same_cells(cube, reopened, atol=0.0) == []
+
+    def test_grandchild_chain_resolves(self, states, timeline_dir):
+        # 2 -> 1 -> 0 is already a two-deep chain; depth recorded.
+        cube = open_snapshot(timeline_dir / "2")
+        snapshot_info = cube.metadata.extra["snapshot"]
+        assert snapshot_info["delta_depth"] == 1
+        assert snapshot_info["parent"].endswith("1")
+
+
+class TestDeltaCorruption:
+    def test_missing_parent_rejected(self, states, tmp_path):
+        dump_snapshot(states[0].cube, tmp_path / "parent")
+        dump_delta_snapshot(
+            states[1].cube, tmp_path / "child", tmp_path / "parent"
+        )
+        shutil.rmtree(tmp_path / "parent")
+        with pytest.raises(SnapshotError, match="cannot resolve its parent"):
+            open_snapshot(tmp_path / "child")
+
+    def test_self_parent_cycle_rejected(self, states, tmp_path):
+        dump_snapshot(states[0].cube, tmp_path / "parent")
+        child = tmp_path / "child"
+        dump_delta_snapshot(states[1].cube, child, tmp_path / "parent")
+        payload = json.loads((child / MANIFEST_NAME).read_text())
+        payload["delta"]["parent"] = "."
+        (child / MANIFEST_NAME).write_text(json.dumps(payload))
+        with pytest.raises(SnapshotError, match="cyclic"):
+            open_snapshot(child)
+
+    def test_two_node_cycle_rejected(self, states, tmp_path):
+        dump_snapshot(states[0].cube, tmp_path / "root")
+        dump_delta_snapshot(
+            states[1].cube, tmp_path / "d1", tmp_path / "root"
+        )
+        dump_delta_snapshot(
+            states[2].cube, tmp_path / "d2", tmp_path / "d1"
+        )
+        payload = json.loads((tmp_path / "d1" / MANIFEST_NAME).read_text())
+        payload["delta"]["parent"] = "../d2"
+        (tmp_path / "d1" / MANIFEST_NAME).write_text(json.dumps(payload))
+        with pytest.raises(SnapshotError, match="cyclic"):
+            open_snapshot(tmp_path / "d2")
+
+    def test_superseded_mask_mismatch_rejected(self, states, tmp_path):
+        dump_snapshot(states[0].cube, tmp_path / "parent")
+        child = tmp_path / "child"
+        dump_delta_snapshot(states[1].cube, child, tmp_path / "parent")
+        manifest = validate_snapshot(child)
+        if manifest.delta["n_superseded"] == 0:
+            pytest.skip("delta supersedes nothing")
+        masks = np.load(child / "superseded_sa.npy")
+        masks = masks.copy()
+        masks[0] = np.uint64(0xDEADBEEF)
+        np.save(child / "superseded_sa.npy", masks)
+        with pytest.raises(SnapshotError, match="mask mismatch"):
+            open_snapshot(child)
+
+    def test_missing_superseded_array_rejected(self, states, tmp_path):
+        dump_snapshot(states[0].cube, tmp_path / "parent")
+        child = tmp_path / "child"
+        dump_delta_snapshot(states[1].cube, child, tmp_path / "parent")
+        payload = json.loads((child / MANIFEST_NAME).read_text())
+        del payload["arrays"]["superseded_sa"]
+        (child / MANIFEST_NAME).write_text(json.dumps(payload))
+        with pytest.raises(SnapshotError, match="superseded_sa"):
+            validate_snapshot(child)
+
+    def test_malformed_delta_section_rejected(self, states, tmp_path):
+        dump_snapshot(states[0].cube, tmp_path / "parent")
+        child = tmp_path / "child"
+        dump_delta_snapshot(states[1].cube, child, tmp_path / "parent")
+        payload = json.loads((child / MANIFEST_NAME).read_text())
+        payload["delta"] = {"parent": "../parent"}   # n_superseded gone
+        (child / MANIFEST_NAME).write_text(json.dumps(payload))
+        with pytest.raises(SnapshotError, match="malformed delta"):
+            validate_snapshot(child)
+
+    def test_delta_arrays_without_delta_section_rejected(
+        self, states, tmp_path
+    ):
+        dump_snapshot(states[0].cube, tmp_path / "parent")
+        child = tmp_path / "child"
+        dump_delta_snapshot(states[1].cube, child, tmp_path / "parent")
+        payload = json.loads((child / MANIFEST_NAME).read_text())
+        payload["delta"] = None   # superseded_* arrays stay listed
+        (child / MANIFEST_NAME).write_text(json.dumps(payload))
+        with pytest.raises(SnapshotError, match="without a delta section"):
+            validate_snapshot(child)
+
+    def test_mismatched_parent_cube_rejected(self, states, tmp_path):
+        dump_snapshot(states[0].cube, tmp_path / "parent")
+        with pytest.raises(SnapshotError, match="does not match"):
+            dump_delta_snapshot(
+                states[2].cube, tmp_path / "child", tmp_path / "parent",
+                parent=states[1].cube,   # stale: disk holds states[0]
+            )
+
+    def test_matching_parent_cube_accepted(self, states, tmp_path):
+        dump_snapshot(states[0].cube, tmp_path / "parent")
+        dump_delta_snapshot(
+            states[1].cube, tmp_path / "child", tmp_path / "parent",
+            parent=states[0].cube,
+        )
+        reopened = open_snapshot(tmp_path / "child")
+        assert check_same_cells(states[1].cube, reopened, atol=0.0) == []
+
+    def test_parent_value_drift_caught_by_digest(self, states, tmp_path):
+        # Keys unchanged, values silently rewritten in the parent after
+        # the delta was dumped: only the content digest can catch it.
+        dump_snapshot(states[0].cube, tmp_path / "parent")
+        child = tmp_path / "child"
+        dump_delta_snapshot(states[1].cube, child, tmp_path / "parent")
+        populations = np.load(tmp_path / "parent" / "population.npy").copy()
+        populations[0] += 1
+        np.save(tmp_path / "parent" / "population.npy", populations)
+        with pytest.raises(SnapshotError, match="digest"):
+            open_snapshot(child)
+
+    def test_delta_onto_itself_rejected(self, states, tmp_path):
+        target = tmp_path / "snap"
+        dump_snapshot(states[0].cube, target)
+        with pytest.raises(SnapshotError, match="its own parent"):
+            dump_delta_snapshot(states[1].cube, target, target)
+        # The refusal must leave the original snapshot intact.
+        reopened = open_snapshot(target)
+        assert check_same_cells(states[0].cube, reopened, atol=0.0) == []
+
+    def test_superseded_count_mismatch_rejected(self, states, tmp_path):
+        dump_snapshot(states[0].cube, tmp_path / "parent")
+        child = tmp_path / "child"
+        dump_delta_snapshot(states[1].cube, child, tmp_path / "parent")
+        payload = json.loads((child / MANIFEST_NAME).read_text())
+        payload["delta"]["n_superseded"] = (
+            int(payload["delta"]["n_superseded"]) + 7
+        )
+        (child / MANIFEST_NAME).write_text(json.dumps(payload))
+        with pytest.raises(SnapshotError, match="superseded"):
+            open_snapshot(child)
+
+
+class TestCubeTimeline:
+    def test_dates_discovered_and_sorted(self, timeline_dir):
+        assert timeline_dates(timeline_dir) == list(DATES)
+        timeline = CubeTimeline(timeline_dir)
+        assert timeline.dates == list(DATES)
+        assert len(timeline) == len(DATES)
+        assert 1 in timeline and 99 not in timeline
+
+    def test_at_caches_and_matches(self, states, timeline_dir):
+        timeline = CubeTimeline(timeline_dir)
+        for state in states:
+            cube = timeline.at(state.date)
+            assert cube is timeline.at(state.date)
+            assert check_same_cells(state.cube, cube, atol=0.0) == []
+        assert len(timeline.latest()) == len(states[-1].cube)
+
+    def test_unknown_date_rejected(self, timeline_dir):
+        with pytest.raises(SnapshotError, match="no snapshot for date"):
+            CubeTimeline(timeline_dir).at(1234)
+
+    def test_iteration_in_date_order(self, timeline_dir):
+        assert [date for date, _ in CubeTimeline(timeline_dir)] == list(DATES)
+
+    def test_empty_or_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(SnapshotError, match="does not exist"):
+            CubeTimeline(tmp_path / "nope")
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(SnapshotError, match="no dated snapshots"):
+            CubeTimeline(tmp_path / "empty")
+
+    def test_non_dated_children_ignored(self, timeline_dir):
+        (timeline_dir / "notes").mkdir()
+        (timeline_dir / "notes" / "readme.txt").write_text("hi")
+        assert timeline_dates(timeline_dir) == list(DATES)
+
+    def test_chain_walk_resolves_each_snapshot_once(
+        self, timeline_dir, monkeypatch
+    ):
+        import repro.store.snapshot as snapshot_module
+
+        validated: "list[str]" = []
+        original = snapshot_module.validate_snapshot
+
+        def counting(path):
+            validated.append(str(path))
+            return original(path)
+
+        monkeypatch.setattr(snapshot_module, "validate_snapshot", counting)
+        timeline = CubeTimeline(timeline_dir)
+        for date in timeline.dates:
+            timeline.at(date)
+        # Without the shared resolution cache, date k re-validates its
+        # whole parent chain: 1+2+3 = 6 validations for 3 dates.
+        assert len(validated) == len(DATES)
+
+
+class TestTimelineSerying:
+    def test_service_routes_to_latest_by_default(self, states, timeline_dir):
+        service = CubeService(timeline_dir)
+        assert service.date == DATES[-1]
+        assert service.dates() == list(DATES)
+        assert len(service.cube) == len(states[-1].cube)
+        info = service.info()
+        assert info["timeline"]["served_date"] == DATES[-1]
+
+    def test_service_routes_to_requested_date(self, states, timeline_dir):
+        service = CubeService(timeline_dir, date=DATES[0])
+        assert check_same_cells(states[0].cube, service.cube,
+                                atol=0.0) == []
+
+    def test_date_on_single_snapshot_rejected(self, states, tmp_path):
+        dump_snapshot(states[0].cube, tmp_path / "snap")
+        with pytest.raises(SnapshotError, match="timeline"):
+            CubeService(tmp_path / "snap", date=3)
+        with pytest.raises(SnapshotError, match="timeline"):
+            CubeService(states[0].cube, date=3)
+
+    def test_service_trend_walks_all_dates(self, timeline_dir):
+        service = CubeService(timeline_dir)
+        series = service.trend("D", sa={"g": "g0"})
+        assert [date for date, _ in series] == list(DATES)
+        assert all(np.isfinite(v) or np.isnan(v) for _, v in series)
+
+    def test_trend_requires_timeline(self, states, tmp_path):
+        dump_snapshot(states[0].cube, tmp_path / "snap")
+        service = CubeService(tmp_path / "snap")
+        with pytest.raises(SnapshotError, match="timeline"):
+            service.trend("D", sa={"g": "g0"})
+
+    def test_cli_top_with_date(self, timeline_dir, capsys):
+        assert serve_main(
+            [str(timeline_dir), "top", "--date", "1", "--json", "-k", "3"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 3
+
+    def test_cli_trend(self, timeline_dir, capsys):
+        assert serve_main(
+            [str(timeline_dir), "trend", "--index", "D",
+             "--sa", "g=g0", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [entry["date"] for entry in payload] == list(DATES)
+
+    def test_cli_info_shows_timeline(self, timeline_dir, capsys):
+        assert serve_main([str(timeline_dir), "info", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["timeline"]["dates"] == list(DATES)
+
+
+class TestTimelineSeries:
+    def test_series_align_across_dates(self, timeline_dir):
+        timeline = CubeTimeline(timeline_dir)
+        series = timeline_series(timeline, index_name="D", min_points=2)
+        assert series
+        for entry in series:
+            assert entry.dates == DATES
+            assert len(entry.values) == len(DATES)
+            assert entry.n_defined >= 2
+        # Sorted by spread, biggest movers first.
+        spreads = [s.spread for s in series if not np.isnan(s.spread)]
+        assert spreads == sorted(spreads, reverse=True)
+
+    def test_series_values_match_cube_cells(self, states, timeline_dir):
+        timeline = CubeTimeline(timeline_dir)
+        series = timeline_series(timeline, index_name="D", min_points=1)
+        by_description = {s.description: s for s in series}
+        cube = states[0].cube
+        table = cube.table
+        col = table.columns["D"]
+        checked = 0
+        for i in np.flatnonzero(~np.isnan(col))[:10]:
+            from repro.cube.compare import _aligned_key, describe_aligned
+
+            description = describe_aligned(_aligned_key(cube, table.keys[i]))
+            entry = by_description[description]
+            position = entry.dates.index(DATES[0])
+            assert entry.values[position] == float(col[i])
+            assert entry.populations[position] == int(table.population[i])
+            checked += 1
+        assert checked > 0
+
+    def test_plain_pairs_accepted(self, states):
+        pairs = [(s.date, s.cube) for s in states]
+        series = timeline_series(pairs, index_name="D")
+        assert series and series[0].index_name == "D"
+
+    def test_min_minority_guard(self, timeline_dir):
+        timeline = CubeTimeline(timeline_dir)
+        strict = timeline_series(timeline, index_name="D",
+                                 min_minority=10 ** 9)
+        assert strict == []
