@@ -1,0 +1,177 @@
+"""E20 — HTTP serving tier under multi-reader load, single vs sharded.
+
+PR 4-5 made serving zero-rebuild; this experiment pins the new HTTP
+tier built on top: the WSGI app (hit in-process — no TCP, so the
+numbers are the serving stack, not the kernel's socket path) answering
+a mixed query workload from a pool of reader threads, in four
+configurations:
+
+* ``single``   — one snapshot behind a plain ``CubeService``;
+* ``sharded``  — the same cube fanned across 4 hash shards behind the
+  merging ``ShardedCubeService`` router;
+* each ``cold`` (hot-query LRU disabled, every request recomputes) and
+  ``warm`` (default LRU, workload fits, steady-state hits).
+
+Reported per configuration: throughput (QPS) and p50/p99 latency.
+
+Assertions pin the tier's contract: every configuration returns
+**byte-identical** bodies for every query in the mix (the sharded
+router and the cache are invisible to clients), and the warm-cache
+``/top`` latency beats the cold one by >= 5x (the cache actually
+short-circuits ranking work, not just JSON formatting).  Numbers land
+in ``results/E20_http_serving.txt`` and ``results/BENCH_E20.json``.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.cube.builder import SegregationDataCubeBuilder
+from repro.report.text import render_table
+from repro.serve.http import make_app, wsgi_get
+from repro.store.shards import dump_sharded_snapshot
+from repro.store.snapshot import dump_snapshot
+
+from benchmarks.bench_cube_fill import FILL_ROWS, LIMITS, _fill_table
+from benchmarks.conftest import write_bench_json, write_result
+
+N_THREADS = 8
+N_REQUESTS = 320
+TOP_REPS = 60
+MIN_WARM_TOP_SPEEDUP = 5.0
+
+#: Deeper context itemsets than E17/E18: a denser cube makes the cold
+#: ranking path representative of real serving (more cells to scan per
+#: /top) while the warm path stays k-bounded.
+E20_LIMITS = {**LIMITS, "max_ca_items": 3}
+
+TOP_QUERY = "/top?index=D&k=50&min_minority=30"
+
+#: One steady-state dashboard's worth of distinct queries: ranking,
+#: slicing, point lookups, navigation and a pivot, cycled by the pool.
+QUERY_MIX = [
+    TOP_QUERY,
+    "/top?index=G&k=20",
+    "/slice?ca=r%3Dr0",
+    "/slice?sa=g%3Dg1",
+    "/cell?sa=g%3Dg0&ca=r%3Dr0",
+    "/children?ca=r%3Dr0",
+    "/parents?sa=g%3Dg0&ca=r%3Dr0",
+    "/pivot?index=D&rows=g&cols=r",
+]
+
+
+def _run_load(app, n_requests: int = N_REQUESTS,
+              n_threads: int = N_THREADS):
+    """Hammer the app from a thread pool; per-request latencies + QPS."""
+
+    def one(i: int) -> float:
+        query = QUERY_MIX[i % len(QUERY_MIX)]
+        start = time.perf_counter()
+        status, _, _ = wsgi_get(app, query)
+        elapsed = time.perf_counter() - start
+        assert status == 200, f"{query} -> {status}"
+        return elapsed
+
+    with ThreadPoolExecutor(max_workers=n_threads) as pool:
+        start = time.perf_counter()
+        latencies = sorted(pool.map(one, range(n_requests)))
+        wall = time.perf_counter() - start
+    return {
+        "qps": n_requests / wall,
+        "p50_ms": latencies[len(latencies) // 2] * 1e3,
+        "p99_ms": latencies[int(len(latencies) * 0.99) - 1] * 1e3,
+        "wall_s": wall,
+    }
+
+
+def _bodies(app) -> "list[bytes]":
+    return [wsgi_get(app, query)[2] for query in QUERY_MIX]
+
+
+def _median_latency_ms(app, query: str, reps: int = TOP_REPS) -> float:
+    samples = []
+    for _ in range(reps):
+        start = time.perf_counter()
+        status, _, _ = wsgi_get(app, query)
+        samples.append(time.perf_counter() - start)
+        assert status == 200
+    return statistics.median(samples) * 1e3
+
+
+def test_http_serving_load(benchmark, tmp_path):
+    """Sharded == single byte-for-byte; warm /top >= 5x cold /top."""
+    table, schema = _fill_table(FILL_ROWS)
+    cube = SegregationDataCubeBuilder(**E20_LIMITS).build(table, schema)
+    dump_snapshot(cube, tmp_path / "single")
+    dump_sharded_snapshot(cube, tmp_path / "sharded", by="hash", n_shards=4)
+
+    apps = {
+        "single cold": make_app(tmp_path / "single", cache_size=0),
+        "single warm": make_app(tmp_path / "single"),
+        "sharded cold": make_app(tmp_path / "sharded", cache_size=0),
+        "sharded warm": make_app(tmp_path / "sharded"),
+    }
+
+    # Parity first (this also primes the warm caches and every lazy
+    # structure, so "cold" below means cache-off, not first-touch).
+    reference = _bodies(apps["single cold"])
+    for name, app in apps.items():
+        assert _bodies(app) == reference, f"{name} bodies diverged"
+
+    results = {}
+
+    def run():
+        for name, app in apps.items():
+            results[name] = _run_load(app)
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    cold_top_ms = _median_latency_ms(apps["single cold"], TOP_QUERY)
+    warm_top_ms = _median_latency_ms(apps["single warm"], TOP_QUERY)
+    top_speedup = cold_top_ms / warm_top_ms
+
+    cache_stats = apps["single warm"].service.cache.stats()
+    assert cache_stats["hits"] > cache_stats["misses"]
+
+    rows = [
+        [name, f"{r['qps']:.0f}", f"{r['p50_ms']:.3f}", f"{r['p99_ms']:.3f}"]
+        for name, r in results.items()
+    ] + [
+        ["single cold /top (median)", "", f"{cold_top_ms:.3f}", ""],
+        ["single warm /top (median)", "", f"{warm_top_ms:.3f}", ""],
+    ]
+    write_result(
+        "E20_http_serving",
+        f"HTTP serving tier at {FILL_ROWS} rows / {len(cube)} cells, "
+        f"{N_THREADS} reader threads x {N_REQUESTS} requests over "
+        f"{len(QUERY_MIX)} distinct queries (bodies byte-identical across "
+        f"all configurations); warm /top {top_speedup:.1f}x faster than "
+        "cold\n"
+        + render_table(["configuration", "QPS", "p50 (ms)", "p99 (ms)"],
+                       rows),
+    )
+    write_bench_json("E20", {
+        "rows": FILL_ROWS,
+        "cells": len(cube),
+        "n_threads": N_THREADS,
+        "n_requests": N_REQUESTS,
+        "query_mix": len(QUERY_MIX),
+        **{
+            name.replace(" ", "_"): {
+                "qps": r["qps"], "p50_ms": r["p50_ms"], "p99_ms": r["p99_ms"],
+            }
+            for name, r in results.items()
+        },
+        "cold_top_ms": cold_top_ms,
+        "warm_top_ms": warm_top_ms,
+        "warm_top_speedup": top_speedup,
+        "min_warm_top_speedup_required": MIN_WARM_TOP_SPEEDUP,
+    })
+    assert top_speedup >= MIN_WARM_TOP_SPEEDUP, (
+        f"warm-cache /top only {top_speedup:.1f}x faster than cold "
+        f"(need >= {MIN_WARM_TOP_SPEEDUP}x)"
+    )

@@ -1,4 +1,4 @@
-"""CLI for serving a cube snapshot — or a timeline of them.
+"""CLI for serving a cube snapshot — or a timeline, or shards of them.
 
 Examples (after ``dump_snapshot(cube, "snap/")``)::
 
@@ -13,79 +13,52 @@ Examples (after ``dump_snapshot(cube, "snap/")``)::
 A *timeline* directory (integer-named snapshot subdirectories, written
 by :func:`repro.store.dump_into_timeline`) serves the same commands
 routed to one date — the latest unless ``--date`` picks another — plus
-a per-date ``trend`` of one cell::
+a per-date ``trend`` of one cell; a *sharded* directory (written by
+:func:`repro.store.dump_sharded_snapshot` and friends, detected by its
+``shards.json``) serves them through the merging router::
 
     python -m repro.serve timeline/ info
     python -m repro.serve timeline/ top --date 2005
     python -m repro.serve timeline/ trend --index D --sa gender=F
+    python -m repro.serve sharded/ top -k 10
+
+``serve`` starts the stdlib HTTP tier over the same queries::
+
+    python -m repro.serve snap/ serve --port 8000
+    curl 'http://127.0.0.1:8000/top?k=5&min_minority=20'
 
 Coordinates are ``attribute=value`` pairs, repeatable: ``--sa sex=F
 --sa age=young --ca region=north``.  All commands are read-only.
+Errors exit nonzero with a one-line ``error: ...`` on stderr; output
+piped into a pager that closes early exits 0.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import math
 import sys
 
 from repro.cube.cell import CellStats
 from repro.errors import ReproError
 from repro.report.text import render_cube, render_table
-from repro.serve.service import CubeService
+from repro.serve import payloads
+from repro.serve.params import parse_coordinate_pairs, typed_coordinates
 
 
 def _coordinates(pairs: "list[str] | None") -> "dict[str, object] | None":
-    if not pairs:
-        return None
-    out: "dict[str, object]" = {}
-    for pair in pairs:
-        attr, sep, value = pair.partition("=")
-        if not sep or not attr:
-            raise SystemExit(
-                f"bad coordinate {pair!r}: expected attribute=value"
-            )
-        if attr in out:  # repeated attribute -> multi-valued containment
-            previous = out[attr]
-            values = list(previous) if isinstance(previous, list) else [previous]
-            values.append(value)
-            out[attr] = values
-        else:
-            out[attr] = value
-    return out
+    try:
+        return parse_coordinate_pairs(pairs)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
 
 
-def _typed_coordinates(
-    service: CubeService, mapping: "dict[str, object] | None"
-) -> "dict[str, object] | None":
-    """Coerce CLI string values to the vocabulary's exact item types.
-
-    ``encode_query`` matches items by exact (attribute, value) pairs,
-    and vocabularies may hold int/bool/float values — ``--ca
-    n_boards=2`` must look up ``Item('n_boards', 2)``, not
-    ``Item('n_boards', '2')``.  Values whose string rendering matches
-    no vocabulary entry pass through unchanged (the unknown-coordinate
-    error stays informative).
-    """
-    if mapping is None:
-        return None
-    dictionary = service.cube.dictionary
-    typed: "dict[str, dict[str, object]]" = {}
-    for item_id in range(len(dictionary)):
-        item = dictionary.item(item_id)
-        typed.setdefault(item.attribute, {})[str(item.value)] = item.value
-    out: "dict[str, object]" = {}
-    for attr, value in mapping.items():
-        lookup = typed.get(attr, {})
-        if isinstance(value, list):
-            out[attr] = [lookup.get(v, v) for v in value]
-        else:
-            out[attr] = lookup.get(value, value)
-    return out
+def _typed(service, pairs: "list[str] | None"
+           ) -> "dict[str, object] | None":
+    return typed_coordinates(service.dictionary, _coordinates(pairs))
 
 
-def _cell_rows(service: CubeService, cells: "list[CellStats]",
+def _cell_rows(service, cells: "list[CellStats]",
                index_names: "list[str]") -> "list[list[object]]":
     return [
         [service.describe(stats.key), stats.population, stats.minority,
@@ -95,29 +68,11 @@ def _cell_rows(service: CubeService, cells: "list[CellStats]",
     ]
 
 
-def _cell_payload(service: CubeService, stats: CellStats,
-                  index_names: "list[str]") -> "dict[str, object]":
-    return {
-        "cell": service.describe(stats.key),
-        "population": stats.population,
-        "minority": stats.minority,
-        "n_units": stats.n_units,
-        "indexes": {
-            name: None if math.isnan(stats.value(name))
-            else stats.value(name)
-            for name in index_names
-        },
-    }
-
-
-def _print_cells(service: CubeService, cells: "list[CellStats]",
-                 as_json: bool) -> None:
-    index_names = list(service.cube.metadata.index_names)
+def _print_cells(service, cells: "list[CellStats]", as_json: bool) -> None:
     if as_json:
-        print(json.dumps(
-            [_cell_payload(service, s, index_names) for s in cells], indent=2
-        ))
+        print(json.dumps(payloads.cells_payload(service, cells), indent=2))
         return
+    index_names = service.index_names
     header = ["cell", "T", "M", "units"] + index_names
     print(render_table(header, _cell_rows(service, cells, index_names)))
 
@@ -127,10 +82,13 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.serve",
         description="Serve read-only queries over a cube snapshot.",
     )
-    parser.add_argument("snapshot", help="snapshot directory to open")
+    parser.add_argument(
+        "snapshot", help="snapshot, timeline or sharded directory to open"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("info", help="cube summary and provenance")
+    sub.add_parser("dates", help="timeline dates and the served date")
     sub.add_parser("rows", help="every cell as a flat table (cube.csv view)")
 
     top = sub.add_parser("top", help="ranked segregation contexts")
@@ -165,6 +123,16 @@ def build_parser() -> argparse.ArgumentParser:
     trend.add_argument("--sa", action="append", metavar="ATTR=VALUE")
     trend.add_argument("--ca", action="append", metavar="ATTR=VALUE")
 
+    serve = sub.add_parser(
+        "serve", help="serve the JSON HTTP endpoints (stdlib WSGI)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8000)
+    serve.add_argument(
+        "--cache-size", type=int, default=None,
+        help="hot-query LRU entries (0 disables caching)",
+    )
+
     for cmd in sub.choices.values():
         cmd.add_argument(
             "--json", action="store_true", help="emit JSON instead of text"
@@ -180,28 +148,70 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_serve(args) -> int:
+    from repro.serve.cache import DEFAULT_CACHE_SIZE
+    from repro.serve.http import serve
+
+    cache_size = (
+        DEFAULT_CACHE_SIZE if args.cache_size is None else args.cache_size
+    )
+    server = serve(
+        args.snapshot, host=args.host, port=args.port,
+        mmap=not args.no_mmap, date=args.date, cache_size=cache_size,
+    )
+    host, port = server.server_address[:2]
+    print(f"serving http://{host}:{port} (Ctrl-C to stop)", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        service = CubeService(
+        if args.command == "serve":
+            return _run_serve(args)
+
+        from repro.serve.router import open_service
+
+        service = open_service(
             args.snapshot, mmap=not args.no_mmap, date=args.date
         )
         if args.command == "info":
-            info = service.info()
             if args.json:
-                print(json.dumps(info, indent=2, default=str))
+                print(json.dumps(payloads.info_payload(service), indent=2))
             else:
                 print(render_table(
                     ["key", "value"],
-                    [[k, v] for k, v in info.items()],
+                    [[k, v] for k, v in service.info().items()],
+                ))
+        elif args.command == "dates":
+            if args.json:
+                print(json.dumps(payloads.dates_payload(service), indent=2))
+            else:
+                print(render_table(
+                    ["date", "served"],
+                    [[date, "*" if date == service.date else ""]
+                     for date in service.dates()],
                 ))
         elif args.command == "rows":
+            cube = getattr(service, "cube", None)
+            if cube is None:
+                raise ReproError(
+                    "rows needs a single snapshot or timeline directory, "
+                    "not a sharded one (query it via top/slice instead)"
+                )
             if args.json:
-                print(json.dumps(service.cube.to_rows(), indent=2))
+                print(json.dumps(cube.to_rows(), indent=2))
             else:
-                print(render_cube(service.cube))
+                print(render_cube(cube))
         elif args.command == "top":
-            found = service.top(
+            payload = payloads.top_payload(
+                service,
                 index_name=args.index,
                 k=args.k,
                 min_minority=args.min_minority,
@@ -209,84 +219,52 @@ def main(argv: "list[str] | None" = None) -> int:
                 min_units=args.min_units,
             )
             if args.json:
-                print(json.dumps(
-                    [
-                        {
-                            "rank": f.rank,
-                            "cell": f.description,
-                            "index": f.index_name,
-                            "value": f.value,
-                            "population": f.population,
-                            "minority": f.minority,
-                            "n_units": f.n_units,
-                        }
-                        for f in found
-                    ],
-                    indent=2,
-                ))
+                print(json.dumps(payload, indent=2))
             else:
                 print(render_table(
                     ["rank", "cell", args.index, "T", "M", "units"],
                     [
-                        [f.rank, f.description, f.value, f.population,
-                         f.minority, f.n_units]
-                        for f in found
+                        [f["rank"], f["cell"], f["value"], f["population"],
+                         f["minority"], f["n_units"]]
+                        for f in payload
                     ],
                 ))
         elif args.command in ("slice", "children", "parents"):
-            sa = _typed_coordinates(service, _coordinates(args.sa))
-            ca = _typed_coordinates(service, _coordinates(args.ca))
+            sa = _typed(service, args.sa)
+            ca = _typed(service, args.ca)
             cells = getattr(service, args.command)(sa=sa, ca=ca)
             _print_cells(service, cells, args.json)
         elif args.command == "cell":
             stats = service.cell(
-                sa=_typed_coordinates(service, _coordinates(args.sa)),
-                ca=_typed_coordinates(service, _coordinates(args.ca)),
+                sa=_typed(service, args.sa), ca=_typed(service, args.ca)
             )
             if stats is None:
                 print("(no such cell)" if not args.json else "null")
                 return 1
             _print_cells(service, [stats], args.json)
         elif args.command == "trend":
-            series = service.trend(
+            payload = payloads.trend_payload(
+                service,
                 index_name=args.index,
-                sa=_typed_coordinates(service, _coordinates(args.sa)),
-                ca=_typed_coordinates(service, _coordinates(args.ca)),
+                sa=_typed(service, args.sa),
+                ca=_typed(service, args.ca),
             )
             if args.json:
-                print(json.dumps(
-                    [
-                        {
-                            "date": date,
-                            "index": args.index,
-                            "value": None if math.isnan(value) else value,
-                        }
-                        for date, value in series
-                    ],
-                    indent=2,
-                ))
+                print(json.dumps(payload, indent=2))
             else:
                 print(render_table(
                     ["date", args.index],
-                    [[date, value] for date, value in series],
+                    [[entry["date"], entry["value"]] for entry in payload],
                 ))
         elif args.command == "pivot":
-            sa = _typed_coordinates(service, _coordinates(args.sa))
-            ca = _typed_coordinates(service, _coordinates(args.ca))
+            sa = _typed(service, args.sa)
+            ca = _typed(service, args.ca)
             if args.json:
-                rows, cols, matrix = service.pivot_values(
-                    args.index, args.rows, args.cols,
-                    fixed_sa=sa, fixed_ca=ca,
-                )
                 print(json.dumps(
-                    {
-                        "rows": rows,
-                        "cols": cols,
-                        "values": [
-                            [None if math.isnan(v) else v for v in line]
-                            for line in matrix
-                        ],
-                    },
+                    payloads.pivot_payload(
+                        service, args.index, args.rows, args.cols,
+                        fixed_sa=sa, fixed_ca=ca,
+                    ),
                     indent=2,
                 ))
             else:
@@ -301,6 +279,9 @@ def main(argv: "list[str] | None" = None) -> int:
         # Output piped into a pager/head that closed early: not an error.
         sys.stderr.close()
         return 0
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 

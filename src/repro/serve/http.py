@@ -1,0 +1,351 @@
+"""Stdlib-only WSGI serving tier over a cube service.
+
+:func:`make_app` turns any serving source — a snapshot directory, a
+timeline, a ``shards.json`` sharded directory, a live cube, or an
+already-constructed service — into a WSGI application exposing the
+:class:`~repro.serve.service.CubeService` queries as JSON-over-HTTP:
+
+====================  ====================================================
+``GET /info``         cube summary, provenance, disk stats, cache counters
+``GET /dates``        timeline dates and the served date
+``GET /top``          ranked contexts (``index``/``k``/``min_minority``/
+                      ``min_population``/``min_units``)
+``GET /slice``        cells refining ``sa``/``ca`` coordinates
+``GET /cell``         one cell at ``sa``/``ca`` (404 + ``null`` if absent)
+``GET /children``     drill-down neighbours of ``sa``/``ca``
+``GET /parents``      roll-up neighbours of ``sa``/``ca``
+``GET /pivot``        one index over ``rows`` × ``cols`` attributes
+``GET /trend``        one cell's index value per timeline date
+``POST /refresh``     pick up a newly published timeline date
+====================  ====================================================
+
+Coordinates are repeatable ``attribute=value`` query parameters
+(``?sa=sex%3DF&sa=age%3Dyoung&ca=region%3Dnorth``), parsed and
+type-coerced by the *same* :mod:`repro.serve.params` functions the CLI
+uses.  Every response body is ``payloads.dumps(<payload fn>(service,
+...))`` — the exact bytes the in-process payload functions produce —
+which is what makes the HTTP tier byte-identical to in-process calls.
+
+Error mapping: malformed parameters raise :class:`ValueError` → 400;
+domain errors (:class:`~repro.errors.ReproError`: unknown index,
+non-timeline trend, bad pivot attribute) → 400; unknown paths and
+missing cells → 404; unexpected failures → 500.  Every error body is
+JSON: ``{"error": ..., "status": ...}``.
+
+The app is a plain WSGI callable: run it under
+:func:`serve` (threaded ``wsgiref``, stdlib only), any WSGI container
+(``gunicorn 'repro.serve.http:make_app("snap/")'``), or hit it
+in-process with :func:`wsgi_get` (no socket needed — the CI smoke and
+the parity tests do exactly that).
+"""
+
+from __future__ import annotations
+
+import io
+import sys
+from socketserver import ThreadingMixIn
+from urllib.parse import parse_qs
+from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
+
+from repro.errors import ReproError
+from repro.serve import payloads
+from repro.serve.cache import DEFAULT_CACHE_SIZE, CachedCubeService
+from repro.serve.params import parse_coordinate_pairs, typed_coordinates
+from repro.serve.router import open_service
+
+_STATUS = {
+    200: "200 OK",
+    400: "400 Bad Request",
+    404: "404 Not Found",
+    405: "405 Method Not Allowed",
+    500: "500 Internal Server Error",
+}
+
+
+class _HTTPError(Exception):
+    """An error with a status code, rendered as a JSON body."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+def _coords(service, params: "dict[str, list[str]]", name: str
+            ) -> "dict[str, object] | None":
+    return typed_coordinates(
+        service.dictionary, parse_coordinate_pairs(params.get(name))
+    )
+
+
+def _int_param(params: "dict[str, list[str]]", name: str, default: int
+               ) -> int:
+    values = params.get(name)
+    if not values:
+        return default
+    try:
+        return int(values[-1])
+    except ValueError:
+        raise ValueError(
+            f"parameter {name!r} must be an integer, got {values[-1]!r}"
+        ) from None
+
+
+def _str_param(params: "dict[str, list[str]]", name: str,
+               default: "str | None" = None) -> "str | None":
+    values = params.get(name)
+    return values[-1] if values else default
+
+
+def _require(params: "dict[str, list[str]]", name: str) -> str:
+    value = _str_param(params, name)
+    if value is None:
+        raise ValueError(f"missing required parameter {name!r}")
+    return value
+
+
+def _index_param(service, params: "dict[str, list[str]]") -> str:
+    index = _str_param(params, "index", "D")
+    names = service.index_names
+    if index not in names:
+        raise ValueError(f"unknown index {index!r} (have: {names})")
+    return index
+
+
+# ----------------------------------------------------------------------
+# Endpoint handlers: (service, params) -> (status, payload)
+# ----------------------------------------------------------------------
+
+
+def _handle_info(service, params):
+    return 200, payloads.info_payload(service)
+
+
+def _handle_dates(service, params):
+    return 200, payloads.dates_payload(service)
+
+
+def _handle_top(service, params):
+    return 200, payloads.top_payload(
+        service,
+        index_name=_index_param(service, params),
+        k=_int_param(params, "k", 10),
+        min_minority=_int_param(params, "min_minority", 0),
+        min_population=_int_param(params, "min_population", 0),
+        min_units=_int_param(params, "min_units", 2),
+    )
+
+
+def _handle_slice(service, params):
+    cells = service.slice(
+        sa=_coords(service, params, "sa"), ca=_coords(service, params, "ca")
+    )
+    return 200, payloads.cells_payload(service, cells)
+
+
+def _handle_cell(service, params):
+    stats = service.cell(
+        sa=_coords(service, params, "sa"), ca=_coords(service, params, "ca")
+    )
+    payload = payloads.cell_payload(service, stats)
+    return (200, payload) if payload is not None else (404, None)
+
+
+def _handle_children(service, params):
+    cells = service.children(
+        sa=_coords(service, params, "sa"), ca=_coords(service, params, "ca")
+    )
+    return 200, payloads.cells_payload(service, cells)
+
+
+def _handle_parents(service, params):
+    cells = service.parents(
+        sa=_coords(service, params, "sa"), ca=_coords(service, params, "ca")
+    )
+    return 200, payloads.cells_payload(service, cells)
+
+
+def _handle_pivot(service, params):
+    return 200, payloads.pivot_payload(
+        service,
+        index_name=_index_param(service, params),
+        row_attr=_require(params, "rows"),
+        col_attr=_require(params, "cols"),
+        fixed_sa=_coords(service, params, "sa"),
+        fixed_ca=_coords(service, params, "ca"),
+    )
+
+
+def _handle_trend(service, params):
+    return 200, payloads.trend_payload(
+        service,
+        index_name=_index_param(service, params),
+        sa=_coords(service, params, "sa"),
+        ca=_coords(service, params, "ca"),
+    )
+
+
+_GET_ROUTES = {
+    "/info": _handle_info,
+    "/dates": _handle_dates,
+    "/top": _handle_top,
+    "/slice": _handle_slice,
+    "/cell": _handle_cell,
+    "/children": _handle_children,
+    "/parents": _handle_parents,
+    "/pivot": _handle_pivot,
+    "/trend": _handle_trend,
+}
+
+
+def make_app(
+    source,
+    mmap: bool = True,
+    date: "int | None" = None,
+    cache_size: int = DEFAULT_CACHE_SIZE,
+):
+    """Build the WSGI application over a serving source.
+
+    ``source`` may be a path (snapshot / timeline / sharded directory),
+    a live cube, or an already-constructed service object (anything
+    with the :class:`~repro.serve.service.CubeService` query methods);
+    paths and cubes are opened via
+    :func:`~repro.serve.router.open_service` and wrapped in a
+    :class:`~repro.serve.cache.CachedCubeService` of ``cache_size``
+    entries (0 disables caching).  Service objects are used as-is, so a
+    parity test can hand the app the very instance it queries
+    in-process.
+    """
+    if hasattr(source, "info") and hasattr(source, "top"):
+        service = source
+    else:
+        service = CachedCubeService(
+            open_service(source, mmap=mmap, date=date), maxsize=cache_size
+        )
+
+    def app(environ, start_response):
+        path = environ.get("PATH_INFO", "/")
+        method = environ.get("REQUEST_METHOD", "GET")
+        try:
+            if path == "/refresh":
+                if method != "POST":
+                    raise _HTTPError(405, "POST /refresh")
+                refresher = getattr(service, "refresh", None)
+                refreshed = bool(refresher()) if callable(refresher) else False
+                status, payload = 200, {"refreshed": refreshed}
+            else:
+                handler = _GET_ROUTES.get(path)
+                if handler is None:
+                    raise _HTTPError(404, f"no such endpoint: {path}")
+                if method not in ("GET", "HEAD"):
+                    raise _HTTPError(405, f"{path} only supports GET")
+                params = parse_qs(
+                    environ.get("QUERY_STRING", ""), keep_blank_values=True
+                )
+                status, payload = handler(service, params)
+            body = payloads.dumps(payload)
+        except _HTTPError as exc:
+            status = exc.status
+            body = payloads.dumps({"error": str(exc), "status": status})
+        except ValueError as exc:
+            status = 400
+            body = payloads.dumps({"error": str(exc), "status": status})
+        except ReproError as exc:
+            status = 400
+            body = payloads.dumps({"error": str(exc), "status": status})
+        except Exception as exc:  # noqa: BLE001 — the 500 surface
+            status = 500
+            body = payloads.dumps(
+                {"error": f"{type(exc).__name__}: {exc}", "status": status}
+            )
+        start_response(_STATUS[status], [
+            ("Content-Type", "application/json"),
+            ("Content-Length", str(len(body))),
+        ])
+        return [b"" if method == "HEAD" else body]
+
+    app.service = service
+    return app
+
+
+# ----------------------------------------------------------------------
+# Stdlib server and in-process test client
+# ----------------------------------------------------------------------
+
+
+class ThreadingWSGIServer(ThreadingMixIn, WSGIServer):
+    """wsgiref's server, answering each request on its own thread.
+
+    The served cube is warmed and immutable, so concurrent handler
+    threads are safe by construction (the same guarantee the
+    thread-pool tests exercise in-process).
+    """
+
+    daemon_threads = True
+
+
+class _QuietHandler(WSGIRequestHandler):
+    def log_message(self, format, *args):  # noqa: A002 — wsgiref API
+        pass
+
+
+def serve(
+    source,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    mmap: bool = True,
+    date: "int | None" = None,
+    cache_size: int = DEFAULT_CACHE_SIZE,
+    quiet: bool = False,
+):
+    """Open a source and return a ready ``ThreadingWSGIServer``.
+
+    The caller owns the loop: ``serve(...).serve_forever()``.  Returning
+    the server (rather than looping here) lets tests bind port 0 and
+    shut down cleanly.
+    """
+    app = make_app(source, mmap=mmap, date=date, cache_size=cache_size)
+    return make_server(
+        host, port, app,
+        server_class=ThreadingWSGIServer,
+        handler_class=_QuietHandler if quiet else WSGIRequestHandler,
+    )
+
+
+def wsgi_get(app, path_qs: str, method: str = "GET"
+             ) -> "tuple[int, dict[str, str], bytes]":
+    """In-process request: ``(status, headers, body)`` without a socket."""
+    path, _, query = path_qs.partition("?")
+    environ = {
+        "REQUEST_METHOD": method,
+        "PATH_INFO": path,
+        "QUERY_STRING": query,
+        "SERVER_NAME": "localhost",
+        "SERVER_PORT": "80",
+        "SERVER_PROTOCOL": "HTTP/1.1",
+        "wsgi.version": (1, 0),
+        "wsgi.url_scheme": "http",
+        "wsgi.input": io.BytesIO(b""),
+        "wsgi.errors": sys.stderr,
+        "wsgi.multithread": True,
+        "wsgi.multiprocess": False,
+        "wsgi.run_once": False,
+    }
+    captured: "dict[str, object]" = {}
+
+    def start_response(status, headers):
+        captured["status"] = status
+        captured["headers"] = headers
+
+    chunks = app(environ, start_response)
+    try:
+        body = b"".join(chunks)
+    finally:
+        close = getattr(chunks, "close", None)
+        if callable(close):
+            close()
+    status_line = str(captured["status"])
+    return (
+        int(status_line.split(maxsplit=1)[0]),
+        dict(captured["headers"]),
+        body,
+    )

@@ -30,6 +30,16 @@ from repro.errors import SnapshotError
 Coordinates = Union[Mapping[str, object], None]
 
 
+def _disk_info(path) -> "dict[str, int]":
+    """On-disk footprint of one snapshot directory (own bytes + chain)."""
+    from repro.store.snapshot import delta_chain_length, snapshot_disk_bytes
+
+    return {
+        "snapshot_bytes": snapshot_disk_bytes(path),
+        "delta_chain_length": delta_chain_length(path),
+    }
+
+
 def _warm(cube: SegregationCube) -> SegregationCube:
     # Build all lazy derived state up front: once warmed, queries
     # never write to shared structures.  For live closed-mode cubes
@@ -53,6 +63,7 @@ class CubeService:
     ):
         self._timeline = None
         self._date: "int | None" = None
+        self._mmap = bool(mmap)
         if isinstance(source, (str, Path)):
             from repro.store.manifest import MANIFEST_NAME
             from repro.store.snapshot import open_snapshot
@@ -92,16 +103,58 @@ class CubeService:
         """The served snapshot date (None unless timeline-backed)."""
         return self._date
 
+    @property
+    def dictionary(self):
+        """The served cube's typed item vocabulary."""
+        return self._cube.dictionary
+
+    @property
+    def index_names(self) -> "list[str]":
+        """Short names of the served index columns."""
+        return list(self._cube.metadata.index_names)
+
+    @property
+    def timeline_root(self) -> "Path | None":
+        """The timeline directory (None unless timeline-backed)."""
+        return self._timeline.root if self._timeline is not None else None
+
     def dates(self) -> "list[int]":
         """All timeline dates ([] when not timeline-backed)."""
         return self._timeline.dates if self._timeline is not None else []
+
+    def refreshed(self) -> "CubeService | None":
+        """A fresh service over the latest published date, or None.
+
+        Timeline-backed services only: re-scans the timeline directory
+        and, when a newer date than the currently served one has been
+        published, returns a *new* service over it (the existing
+        instance keeps serving its date untouched — readers in flight
+        never see state change under them).  Returns None when there is
+        nothing newer; the cache layer uses this to decide whether a
+        publish happened and stale entries must be evicted.
+        """
+        if self._timeline is None:
+            return None
+        from repro.store.timeline import timeline_dates
+
+        dates = timeline_dates(self._timeline.root)
+        if not dates or dates[-1] == self._date:
+            return None
+        return CubeService(self._timeline.root, mmap=self._mmap)
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
 
     def info(self) -> "dict[str, object]":
-        """Headline numbers plus provenance of the served cube."""
+        """Headline numbers plus provenance of the served cube.
+
+        Snapshot-backed services also report the snapshot's on-disk
+        byte size and delta-chain length; timeline-backed ones report
+        both *per date* — the numbers a compaction policy (and the HTTP
+        ``/info`` endpoint) needs to weigh chain-resolution cost
+        against byte savings.
+        """
         out = summarize_cube(self._cube)
         metadata = self._cube.metadata
         out["backend"] = metadata.backend
@@ -111,10 +164,15 @@ class CubeService:
         snapshot = metadata.extra.get("snapshot")
         if snapshot is not None:
             out["snapshot"] = snapshot
+            out["disk"] = _disk_info(snapshot["path"])
         if self._timeline is not None:
             out["timeline"] = {
                 "dates": self._timeline.dates,
                 "served_date": self._date,
+                "per_date": {
+                    str(date): _disk_info(self._timeline.path_of(date))
+                    for date in self._timeline.dates
+                },
             }
         return out
 

@@ -14,6 +14,13 @@ memory-mapped, as a fully functional read-only
 * :mod:`repro.store.snapshot` — :func:`dump_snapshot`,
   :func:`dump_delta_snapshot`, :func:`open_snapshot`,
   :func:`validate_snapshot`.
+* :mod:`repro.store.shards` — the ``shards.json`` manifest plus
+  writers (:func:`dump_sharded_snapshot`,
+  :func:`dump_sharded_into_timeline`, :func:`shard_timeline_by_date`)
+  that fan one logical cube across many disjoint snapshot/timeline
+  shards, partitioned by key hash, by a context attribute's value, or
+  by timeline date; :class:`repro.serve.router.ShardedCubeService`
+  reopens and merges them.
 * :mod:`repro.store.timeline` — :class:`CubeTimeline` /
   :func:`dump_into_timeline`: a dated directory of snapshots where
   each date after the first is a *delta* storing only the cells that
@@ -32,10 +39,21 @@ snapshot does not carry, so reopened cubes answer point queries for
 """
 
 from repro.store.manifest import FORMAT_VERSION, MANIFEST_NAME, SnapshotManifest
+from repro.store.shards import (
+    SHARDS_NAME,
+    ShardEntry,
+    ShardsManifest,
+    dump_sharded_into_timeline,
+    dump_sharded_snapshot,
+    is_sharded,
+    shard_timeline_by_date,
+)
 from repro.store.snapshot import (
+    delta_chain_length,
     dump_delta_snapshot,
     dump_snapshot,
     open_snapshot,
+    snapshot_disk_bytes,
     snapshot_files,
     table_digest,
     validate_snapshot,
@@ -50,11 +68,20 @@ __all__ = [
     "CubeTimeline",
     "FORMAT_VERSION",
     "MANIFEST_NAME",
+    "SHARDS_NAME",
+    "ShardEntry",
+    "ShardsManifest",
     "SnapshotManifest",
+    "delta_chain_length",
     "dump_delta_snapshot",
     "dump_into_timeline",
+    "dump_sharded_into_timeline",
+    "dump_sharded_snapshot",
     "dump_snapshot",
+    "is_sharded",
     "open_snapshot",
+    "shard_timeline_by_date",
+    "snapshot_disk_bytes",
     "snapshot_files",
     "table_digest",
     "timeline_dates",

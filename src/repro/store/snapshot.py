@@ -192,6 +192,49 @@ def table_digest(table: CellTable) -> str:
     return digest.hexdigest()
 
 
+def snapshot_disk_bytes(path: "str | Path") -> int:
+    """On-disk byte size of one snapshot directory's *own* files.
+
+    Sums the manifest plus every array file the manifest claims — a
+    delta snapshot therefore reports only the bytes it stores itself,
+    not the parent chain it composes against, which is exactly the
+    number the serving layer's ``info()`` and a future compaction
+    policy need (chain cost vs byte savings).
+    """
+    directory = Path(path)
+    manifest = SnapshotManifest.read(directory)
+    total = 0
+    for name in snapshot_files(manifest):
+        file = directory / name
+        if file.is_file():
+            total += file.stat().st_size
+    return total
+
+
+def delta_chain_length(path: "str | Path") -> int:
+    """Number of parent hops from ``path`` to its full-snapshot root.
+
+    A full snapshot has length 0; a delta directly on a full snapshot
+    has length 1; and so on.  Only manifests are read (no array data),
+    so the walk is cheap enough to run on every ``info()`` call.  A
+    cyclic or unresolvable parent chain raises
+    :class:`~repro.errors.SnapshotError`.
+    """
+    directory = Path(path).resolve()
+    seen = {directory}
+    length = 0
+    manifest = SnapshotManifest.read(directory)
+    while manifest.delta is not None:
+        directory = (directory / str(manifest.delta["parent"])).resolve()
+        if directory in seen:
+            loop = " -> ".join(str(p) for p in sorted(seen))
+            raise SnapshotError(f"cyclic snapshot parent chain: {loop}")
+        seen.add(directory)
+        length += 1
+        manifest = SnapshotManifest.read(directory)
+    return length
+
+
 def _same_vocabulary(a, b) -> bool:
     if len(a) != len(b):
         return False

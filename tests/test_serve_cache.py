@@ -1,0 +1,277 @@
+"""Tests of the hot-query LRU: semantics, threads, publish invalidation.
+
+Three layers of contract:
+
+* :class:`QueryCache` — LRU order, eviction, counters, ``maxsize=0``
+  disabling, and generation checks (a store computed before an
+  invalidate must be dropped, never resurrected);
+* :class:`CachedCubeService` — memoized queries return exactly the
+  wrapped service's answers (hits and misses alike), keys canonicalize
+  without collisions, and many reader threads see consistent answers;
+* publish flow — dumping a new timeline date and calling ``refresh()``
+  swaps the served date and evicts every stale entry.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.cube.builder import build_cube
+from repro.serve.cache import CachedCubeService, QueryCache, canonical_key
+from repro.serve.service import CubeService
+from repro.store import dump_into_timeline, dump_snapshot
+
+
+@pytest.fixture(scope="module")
+def built(schools):
+    table, schema = schools
+    return build_cube(table, schema, min_population=10, min_minority=3)
+
+
+@pytest.fixture(scope="module")
+def snapshot_dir(built, tmp_path_factory):
+    path = tmp_path_factory.mktemp("cache") / "snap"
+    dump_snapshot(built, path)
+    return path
+
+
+class TestQueryCache:
+    def test_miss_then_hit(self):
+        cache = QueryCache(maxsize=4)
+        found, value, generation = cache.lookup("a")
+        assert not found
+        assert cache.store("a", 1, generation)
+        found, value, _ = cache.lookup("a")
+        assert found and value == 1
+        assert cache.stats() == {
+            "hits": 1, "misses": 1, "evictions": 0,
+            "size": 1, "maxsize": 4, "generation": 0,
+        }
+
+    def test_lru_eviction_order(self):
+        cache = QueryCache(maxsize=2)
+        for key in ("a", "b"):
+            _, _, generation = cache.lookup(key)
+            cache.store(key, key.upper(), generation)
+        cache.lookup("a")                       # refresh a: b is now LRU
+        _, _, generation = cache.lookup("c")
+        cache.store("c", "C", generation)       # evicts b
+        assert cache.lookup("a")[0]
+        assert cache.lookup("c")[0]
+        assert not cache.lookup("b")[0]
+        assert cache.stats()["evictions"] == 1
+
+    def test_maxsize_zero_disables_storage(self):
+        cache = QueryCache(maxsize=0)
+        _, _, generation = cache.lookup("a")
+        assert not cache.store("a", 1, generation)
+        assert not cache.lookup("a")[0]
+        assert len(cache) == 0
+
+    def test_negative_maxsize_rejected(self):
+        with pytest.raises(ValueError, match="maxsize"):
+            QueryCache(maxsize=-1)
+
+    def test_invalidate_clears_and_bumps_generation(self):
+        cache = QueryCache(maxsize=4)
+        _, _, generation = cache.lookup("a")
+        cache.store("a", 1, generation)
+        assert cache.invalidate() == 1
+        assert not cache.lookup("a")[0]
+        assert cache.stats()["generation"] == 1
+
+    def test_stale_inflight_store_is_dropped(self):
+        """A result computed against the pre-publish cube must not land
+        after the publish — that would resurrect stale data forever."""
+        cache = QueryCache(maxsize=4)
+        _, _, generation = cache.lookup("q")     # computation starts...
+        cache.invalidate()                       # ...publish happens...
+        assert not cache.store("q", "stale", generation)  # ...store drops
+        assert not cache.lookup("q")[0]
+
+
+class TestCanonicalKey:
+    def test_order_insensitive_params_and_coordinates(self):
+        a = canonical_key("top", {"k": 5, "index_name": "D"})
+        b = canonical_key("top", {"index_name": "D", "k": 5})
+        assert a == b
+        c = canonical_key("slice", {"sa": {"x": "1", "y": "2"}, "ca": None})
+        d = canonical_key("slice", {"ca": None, "sa": {"y": "2", "x": "1"}})
+        assert c == d
+
+    def test_type_distinctions_never_collide(self):
+        assert canonical_key("v", {"x": 2}) != canonical_key("v", {"x": "2"})
+        assert canonical_key("v", {"x": 2}) != canonical_key("v", {"x": 2.0})
+        assert canonical_key("v", {"x": 1}) != canonical_key("v", {"x": True})
+        assert canonical_key("s", {"sa": {"a": "b"}}) != canonical_key(
+            "s", {"sa": "a=b"}
+        )
+
+    def test_multi_valued_coordinates(self):
+        a = canonical_key("s", {"ca": {"city": ["x", "y"]}})
+        b = canonical_key("s", {"ca": {"city": ["y", "x"]}})
+        assert a == b   # containment constraints are order-free sets
+        assert a != canonical_key("s", {"ca": {"city": "x"}})
+
+
+class TestCachedCubeService:
+    def test_answers_match_and_hits_count(self, snapshot_dir):
+        cached = CachedCubeService(CubeService(snapshot_dir))
+        plain = CubeService(snapshot_dir)
+        for _ in range(3):
+            assert (
+                cached.top("D", k=5, min_minority=5)
+                == plain.top("D", k=5, min_minority=5)
+            )
+            assert cached.value("D", sa={"ethnicity": "minority"}) == (
+                plain.value("D", sa={"ethnicity": "minority"})
+            )
+        stats = cached.cache.stats()
+        assert stats["misses"] == 2
+        assert stats["hits"] == 4
+
+    def test_distinct_params_are_distinct_entries(self, snapshot_dir):
+        cached = CachedCubeService(CubeService(snapshot_dir))
+        assert len(cached.top("D", k=3)) == 3
+        assert len(cached.top("D", k=5)) == 5
+        assert len(cached.top("D", k=3)) == 3   # hit, still 3
+        stats = cached.cache.stats()
+        assert stats["misses"] == 2 and stats["hits"] == 1
+
+    def test_info_surfaces_counters_and_is_never_cached(self, snapshot_dir):
+        cached = CachedCubeService(CubeService(snapshot_dir))
+        cached.top("D", k=5)
+        cached.top("D", k=5)
+        info = cached.info()
+        assert info["cache"]["hits"] == 1
+        assert info["cache"]["misses"] == 1
+        assert info["cells"] > 0
+        cached.top("D", k=5)
+        assert cached.info()["cache"]["hits"] == 2  # live, not cached
+
+    def test_passthrough_attributes(self, snapshot_dir):
+        cached = CachedCubeService(CubeService(snapshot_dir))
+        assert cached.index_names == cached.service.index_names
+        assert cached.date is None
+        assert cached.dates() == []
+        assert cached.refresh() is False   # not timeline-backed
+
+    def test_cache_disabled_still_correct(self, snapshot_dir):
+        cached = CachedCubeService(CubeService(snapshot_dir), maxsize=0)
+        plain = CubeService(snapshot_dir)
+        for _ in range(2):
+            assert (
+                cached.top("D", k=5, min_minority=5)
+                == plain.top("D", k=5, min_minority=5)
+            )
+        stats = cached.cache.stats()
+        assert stats["hits"] == 0 and stats["misses"] == 2
+
+    def test_concurrent_readers_agree_with_reference(self, snapshot_dir):
+        """The CubeService thread-pool test, through the cache: mixed
+        hits and misses from 8 threads must all equal the reference."""
+        reference = CubeService(snapshot_dir)
+        expected = {
+            "top": reference.top("D", k=5, min_minority=5),
+            "slice": [
+                s.key for s in reference.slice(ca={"city": "Rivertown"})
+            ],
+            "value": reference.value("D", sa={"ethnicity": "minority"}),
+            "pivot": reference.pivot("D", "ethnicity", "city"),
+            "children": {s.key for s in reference.children()},
+        }
+        # Tiny cache: concurrent evictions and re-computations included.
+        service = CachedCubeService(CubeService(snapshot_dir), maxsize=3)
+
+        def worker(i: int):
+            kind = ("top", "slice", "value", "pivot", "children")[i % 5]
+            if kind == "top":
+                return kind, service.top("D", k=5, min_minority=5)
+            if kind == "slice":
+                return kind, [
+                    s.key for s in service.slice(ca={"city": "Rivertown"})
+                ]
+            if kind == "value":
+                return kind, service.value("D", sa={"ethnicity": "minority"})
+            if kind == "pivot":
+                return kind, service.pivot("D", "ethnicity", "city")
+            return kind, {s.key for s in service.children()}
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(worker, range(200)))
+        assert len(results) == 200
+        for kind, got in results:
+            assert got == expected[kind], f"{kind} diverged under threads"
+        stats = service.cache.stats()
+        assert stats["hits"] + stats["misses"] == 200
+
+
+class TestPublishInvalidation:
+    @pytest.fixture()
+    def timeline(self, built, schools, tmp_path):
+        """A two-date timeline plus a third cube ready to publish."""
+        table, schema = schools
+        # Same data at both dates keeps the test about the *plumbing*;
+        # the date-2 cube covers one city only, so staleness (serving
+        # the old answers after a publish) is observable.
+        root = tmp_path / "tl"
+        dump_into_timeline(root, 0, built)
+        dump_into_timeline(root, 1, built, parent_date=0, parent=built)
+        one_city = table.filter(
+            table.categorical("city").mask_eq("Rivertown")
+        )
+        smaller = build_cube(
+            one_city, schema, min_population=10, min_minority=3
+        )
+        return root, smaller
+
+    def test_refresh_swaps_date_and_evicts(self, timeline, built, schools):
+        table, schema = schools
+        root, smaller = timeline
+        service = CachedCubeService(CubeService(root))
+        assert service.date == 1
+        before = service.top("D", k=100)
+        assert service.refresh() is False    # nothing new yet
+        assert service.cache.stats()["size"] == 1
+
+        dump_into_timeline(root, 2, smaller, parent_date=1, parent=built)
+        assert service.refresh() is True
+        assert service.date == 2
+        assert service.cache.stats()["size"] == 0       # evicted
+        assert service.cache.stats()["generation"] == 1
+        after = service.top("D", k=100)
+        assert len(after) < len(before)      # genuinely the new cube
+        assert service.dates() == [0, 1, 2]
+
+    def test_inflight_pre_publish_result_never_lands(self, timeline, built):
+        root, smaller = timeline
+        service = CachedCubeService(CubeService(root))
+        old_service = service.service
+        # Simulate a request that started before the publish: it read
+        # the generation, computed against the old cube, and stores
+        # after refresh() ran.
+        key = canonical_key("top", {"k": 100})
+        _, _, generation = service.cache.lookup(key)
+        stale = old_service.top("D", k=100)
+
+        dump_into_timeline(root, 2, smaller, parent_date=1, parent=built)
+        assert service.refresh() is True
+        assert not service.cache.store(key, stale, generation)
+        fresh = service.top("D", k=100)
+        assert len(fresh) < len(stale)
+
+    def test_trend_spans_published_dates(self, timeline, built):
+        root, smaller = timeline
+        service = CachedCubeService(CubeService(root))
+        sa = {"ethnicity": "minority"}
+        assert len(service.trend("D", sa=sa)) == 2
+        dump_into_timeline(root, 2, smaller, parent_date=1, parent=built)
+        service.refresh()
+        series = service.trend("D", sa=sa)
+        assert [d for d, _ in series] == [0, 1, 2]
+        assert all(
+            not math.isnan(v) or True for _, v in series
+        )

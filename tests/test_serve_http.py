@@ -1,0 +1,319 @@
+"""Tests of the WSGI serving tier: byte parity and the error surface.
+
+The acceptance contract: every endpoint's body is **byte-identical** to
+the JSON the in-process payload builders produce for the equivalent
+CubeService call — for the single snapshot, for the sharded router, and
+for timelines — and errors map to 400 (malformed/unknown parameters),
+404 (unknown endpoint, missing cell), 405 (wrong method) and 500, all
+with JSON bodies.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cube.builder import build_cube
+from repro.serve import payloads
+from repro.serve.http import make_app, serve, wsgi_get
+from repro.serve.service import CubeService
+from repro.store import dump_into_timeline, dump_snapshot
+from repro.store.shards import dump_sharded_snapshot
+
+
+@pytest.fixture(scope="module")
+def built(schools):
+    table, schema = schools
+    return build_cube(table, schema, min_population=10, min_minority=3)
+
+
+@pytest.fixture(scope="module")
+def snapshot_dir(built, tmp_path_factory):
+    path = tmp_path_factory.mktemp("http") / "snap"
+    dump_snapshot(built, path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def sharded_dir(built, tmp_path_factory):
+    path = tmp_path_factory.mktemp("http") / "sharded"
+    dump_sharded_snapshot(built, path, by="hash", n_shards=4)
+    return path
+
+
+@pytest.fixture(scope="module")
+def app(snapshot_dir):
+    return make_app(snapshot_dir)
+
+
+@pytest.fixture(scope="module")
+def reference(snapshot_dir):
+    return CubeService(snapshot_dir)
+
+
+SA = "sa=ethnicity%3Dminority"
+CA = "ca=city%3DRivertown"
+
+
+class TestByteParity:
+    def expected(self, reference, query):
+        sa = {"ethnicity": "minority"}
+        ca = {"city": "Rivertown"}
+        build = {
+            f"/top?index=D&k=5&min_minority=5": lambda: payloads.top_payload(
+                reference, index_name="D", k=5, min_minority=5
+            ),
+            f"/slice?{CA}": lambda: payloads.cells_payload(
+                reference, reference.slice(ca=ca)
+            ),
+            f"/cell?{SA}": lambda: payloads.cell_payload(
+                reference, reference.cell(sa=sa)
+            ),
+            f"/children?{SA}": lambda: payloads.cells_payload(
+                reference, reference.children(sa=sa)
+            ),
+            f"/parents?{SA}&{CA}": lambda: payloads.cells_payload(
+                reference, reference.parents(sa=sa, ca=ca)
+            ),
+            "/pivot?index=D&rows=ethnicity&cols=city": lambda:
+                payloads.pivot_payload(reference, "D", "ethnicity", "city"),
+            "/dates": lambda: payloads.dates_payload(reference),
+        }
+        return payloads.dumps(build[query]())
+
+    @pytest.mark.parametrize("query", [
+        "/top?index=D&k=5&min_minority=5",
+        f"/slice?{CA}",
+        f"/cell?{SA}",
+        f"/children?{SA}",
+        f"/parents?{SA}&{CA}",
+        "/pivot?index=D&rows=ethnicity&cols=city",
+        "/dates",
+    ])
+    def test_endpoint_bytes_equal_in_process_payload(
+        self, app, reference, query
+    ):
+        status, headers, body = wsgi_get(app, query)
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        assert int(headers["Content-Length"]) == len(body)
+        assert body == self.expected(reference, query)
+
+    @pytest.mark.parametrize("query", [
+        "/top?index=D&k=5&min_minority=5",
+        f"/slice?{CA}",
+        f"/cell?{SA}",
+        f"/children?{SA}",
+        f"/parents?{SA}&{CA}",
+        "/pivot?index=D&rows=ethnicity&cols=city",
+    ])
+    def test_sharded_app_bytes_equal_unsharded(
+        self, sharded_dir, app, query
+    ):
+        sharded_app = make_app(sharded_dir)
+        _, _, unsharded = wsgi_get(app, query)
+        status, _, body = wsgi_get(sharded_app, query)
+        assert status == 200
+        assert body == unsharded
+
+    def test_info_reports_counters_disk_and_summary(self, app, reference):
+        status, _, body = wsgi_get(app, "/info")
+        assert status == 200
+        info = json.loads(body)
+        ref = json.loads(payloads.dumps(payloads.info_payload(reference)))
+        for field in ("cells", "index_names", "mode", "backend",
+                      "defined_cells_per_index", "disk"):
+            assert info[field] == ref[field]
+        assert info["disk"]["snapshot_bytes"] > 0
+        assert info["disk"]["delta_chain_length"] == 0
+        assert {"hits", "misses", "size"} <= set(info["cache"])
+
+    def test_typed_query_coercion(self, tmp_path):
+        """int-valued vocabulary items are reachable from the wire."""
+        from repro.cube.cell import CellStats
+        from repro.cube.coordinates import make_key
+        from repro.cube.cube import CubeMetadata, SegregationCube
+        from repro.itemsets.items import Item, ItemDictionary, ItemKind
+
+        dictionary = ItemDictionary()
+        dictionary.add(Item("g", "F"), ItemKind.SA)
+        dictionary.add(Item("n_boards", 2), ItemKind.CA)
+        key = make_key([0], [1])
+        cube = SegregationCube(
+            {key: CellStats(key, 8, 3, 2, {"D": 0.25})},
+            dictionary,
+            CubeMetadata(
+                index_names=["D"], min_population=1, min_minority=1,
+                n_rows=8, n_units=2, mode="all", backend="test",
+            ),
+        )
+        dump_snapshot(cube, tmp_path / "typed")
+        typed_app = make_app(tmp_path / "typed")
+        status, _, body = wsgi_get(
+            typed_app, "/cell?sa=g%3DF&ca=n_boards%3D2"
+        )
+        assert status == 200
+        assert json.loads(body)["population"] == 8
+
+
+class TestErrorSurface:
+    def test_unknown_endpoint_404(self, app):
+        status, _, body = wsgi_get(app, "/nope")
+        assert status == 404
+        assert json.loads(body)["status"] == 404
+
+    def test_missing_cell_404_null(self, app):
+        # Two cities in one cell: valid vocabulary, impossible cell.
+        status, _, body = wsgi_get(
+            app, "/cell?ca=city%3DRivertown&ca=city%3DLakeside"
+        )
+        assert (status, body) == (404, b"null")
+
+    def test_malformed_coordinate_400(self, app):
+        status, _, body = wsgi_get(app, "/slice?sa=noequals")
+        assert status == 400
+        assert "attribute=value" in json.loads(body)["error"]
+
+    def test_unknown_coordinate_value_400(self, app):
+        status, _, body = wsgi_get(app, "/slice?ca=city%3DNowhere")
+        assert status == 400
+        assert "unknown coordinate" in json.loads(body)["error"]
+
+    def test_non_integer_param_400(self, app):
+        status, _, body = wsgi_get(app, "/top?k=many")
+        assert status == 400
+        assert "k" in json.loads(body)["error"]
+
+    def test_unknown_index_400(self, app):
+        for query in ("/top?index=NOPE", "/trend?index=NOPE",
+                      "/pivot?index=NOPE&rows=ethnicity&cols=city"):
+            status, _, body = wsgi_get(app, query)
+            assert status == 400, query
+            assert "unknown index" in json.loads(body)["error"]
+
+    def test_missing_pivot_attrs_400(self, app):
+        status, _, body = wsgi_get(app, "/pivot?index=D")
+        assert status == 400
+        assert "rows" in json.loads(body)["error"]
+
+    def test_trend_without_timeline_400(self, app):
+        status, _, body = wsgi_get(app, "/trend?index=D")
+        assert status == 400
+        assert "timeline" in json.loads(body)["error"]
+
+    def test_wrong_method_405(self, app):
+        status, _, _ = wsgi_get(app, "/top", method="POST")
+        assert status == 405
+        status, _, _ = wsgi_get(app, "/refresh", method="GET")
+        assert status == 405
+
+    def test_head_has_headers_but_no_body(self, app):
+        get_status, get_headers, get_body = wsgi_get(app, "/info")
+        status, headers, body = wsgi_get(app, "/info", method="HEAD")
+        assert status == get_status == 200
+        assert body == b""
+        assert int(headers["Content-Length"]) > 0
+
+
+class TestTimelineServing:
+    @pytest.fixture()
+    def timeline(self, built, schools, tmp_path):
+        table, schema = schools
+        root = tmp_path / "tl"
+        dump_into_timeline(root, 0, built)
+        dump_into_timeline(root, 1, built, parent_date=0, parent=built)
+        one_city = table.filter(
+            table.categorical("city").mask_eq("Rivertown")
+        )
+        next_cube = build_cube(
+            one_city, schema, min_population=10, min_minority=3
+        )
+        return root, next_cube
+
+    def test_dates_trend_and_refresh(self, built, timeline):
+        root, next_cube = timeline
+        timeline_app = make_app(root)
+
+        status, _, body = wsgi_get(timeline_app, "/dates")
+        assert status == 200
+        assert json.loads(body) == {"dates": [0, 1], "served_date": 1}
+
+        status, _, body = wsgi_get(timeline_app, f"/trend?index=D&{SA}")
+        assert status == 200
+        series = json.loads(body)
+        assert [entry["date"] for entry in series] == [0, 1]
+
+        # Nothing new: refresh is a no-op.
+        status, _, body = wsgi_get(timeline_app, "/refresh", method="POST")
+        assert (status, json.loads(body)) == (200, {"refreshed": False})
+
+        # Publish date 2, refresh, and the served surface must move.
+        dump_into_timeline(root, 2, next_cube, parent_date=1, parent=built)
+        status, _, body = wsgi_get(timeline_app, "/refresh", method="POST")
+        assert (status, json.loads(body)) == (200, {"refreshed": True})
+        _, _, body = wsgi_get(timeline_app, "/dates")
+        assert json.loads(body) == {"dates": [0, 1, 2], "served_date": 2}
+        _, _, body = wsgi_get(timeline_app, f"/trend?index=D&{SA}")
+        assert [entry["date"] for entry in json.loads(body)] == [0, 1, 2]
+        info = json.loads(wsgi_get(timeline_app, "/info")[2])
+        assert info["cache"]["generation"] == 1
+        assert set(info["timeline"]["per_date"]) == {"0", "1", "2"}
+        assert info["timeline"]["per_date"]["2"]["delta_chain_length"] == 2
+
+    def test_explicit_date_app(self, timeline):
+        root, _ = timeline
+        app0 = make_app(root, date=0)
+        _, _, body = wsgi_get(app0, "/dates")
+        assert json.loads(body)["served_date"] == 0
+
+
+class TestServerPlumbing:
+    def test_make_app_accepts_service_instance(self, reference):
+        app = make_app(reference)
+        assert app.service is reference
+        status, _, body = wsgi_get(app, "/top?k=3")
+        assert status == 200
+        assert body == payloads.dumps(payloads.top_payload(reference, k=3))
+
+    def test_serve_binds_and_answers_over_a_socket(self, snapshot_dir):
+        import threading
+        import urllib.request
+
+        server = serve(snapshot_dir, port=0, quiet=True)
+        port = server.server_address[1]
+        thread = threading.Thread(
+            target=server.serve_forever, daemon=True
+        )
+        thread.start()
+        try:
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/top?k=3", timeout=10
+            ) as response:
+                assert response.status == 200
+                payload = json.loads(response.read())
+            assert [f["rank"] for f in payload] == [1, 2, 3]
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+
+    def test_cli_serve_subcommand_wired(self):
+        from repro.serve.__main__ import build_parser
+
+        args = build_parser().parse_args(
+            ["snap", "serve", "--port", "0", "--cache-size", "16"]
+        )
+        assert args.command == "serve"
+        assert args.port == 0 and args.cache_size == 16
+
+    def test_cli_routes_sharded_directories(self, sharded_dir, capsys):
+        from repro.serve.__main__ import main as serve_main
+
+        assert serve_main([str(sharded_dir), "top", "-k", "3",
+                           "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [f["rank"] for f in payload] == [1, 2, 3]
+        # rows needs the single-cube view.
+        assert serve_main([str(sharded_dir), "rows"]) == 2
+        assert "error:" in capsys.readouterr().err
