@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import json
 import platform
+import resource
+import sys
 from pathlib import Path
 
 import pytest
@@ -32,12 +34,26 @@ def write_result(name: str, text: str) -> Path:
     return path
 
 
+def peak_rss_mb(children: bool = False) -> float:
+    """Lifetime peak resident set size of this process, in MB.
+
+    ``ru_maxrss`` is kilobytes on Linux but bytes on macOS.  With
+    ``children=True``, the peak among *reaped* child processes instead
+    (the parallel fill's workers).
+    """
+    who = resource.RUSAGE_CHILDREN if children else resource.RUSAGE_SELF
+    maxrss = resource.getrusage(who).ru_maxrss
+    divisor = 1 << 20 if sys.platform == "darwin" else 1 << 10
+    return maxrss / divisor
+
+
 def write_bench_json(experiment: str, payload: "dict[str, object]") -> Path:
     """Persist one experiment's machine-readable numbers.
 
     ``experiment`` is the short id (``E18``); the payload lands in
-    ``results/BENCH_<experiment>.json`` with environment fields added,
-    one self-contained JSON object per experiment.
+    ``results/BENCH_<experiment>.json`` with environment fields added —
+    including the process's peak RSS so far, so memory regressions show
+    up in the bench trajectory alongside the timings.
     """
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     path = RESULTS_DIR / f"BENCH_{experiment}.json"
@@ -45,6 +61,7 @@ def write_bench_json(experiment: str, payload: "dict[str, object]") -> Path:
         "experiment": experiment,
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "peak_rss_mb": round(peak_rss_mb(), 1),
         **payload,
     }
     path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")

@@ -33,6 +33,11 @@ computed once per context, never re-derived per cell, and context
 covers below ``min_population`` are discarded before any per-unit
 counting happens.
 
+A multiprocess variant (``engine="parallel"``, :mod:`repro.cube.parallel`)
+partitions the context groups across workers; each worker runs the exact
+same phases B/C (the shared :func:`eval_context_block`) over shared-memory
+cover words, so the parallel cube is bit-exact against the columnar one.
+
 In ``closed`` mode only closed coordinates are materialised (non-closed
 itemsets select exactly the same minority as their closure); the cube
 carries a resolver that answers any other point query exactly from the
@@ -66,6 +71,95 @@ Itemset = frozenset[int]
 #: Cell-count budget of one columnar fill batch, in int64 matrix
 #: entries (~32 MB): batches hold at most this many cells x units.
 _FILL_BATCH_CELLS = 1 << 22
+
+
+def eval_context_block(
+    specs: "list[IndexSpec]",
+    tvec: np.ndarray,
+    sub_all: np.ndarray,
+    minsup_min: int,
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    """Phase C for one context block: thresholds + batched index kernels.
+
+    ``sub_all`` is the block's minority-count matrix (one row per
+    candidate cell of the context, one column per unit); ``tvec`` is the
+    context's per-unit population vector.  Returns ``(totals, keep,
+    values)`` where ``values`` is ``(n_specs, n_block_rows)`` with NaN
+    on dropped rows.  This is the single evaluation path shared by the
+    single-process columnar fill and the parallel workers — sharing it
+    is what makes ``engine="parallel"`` bit-exact.
+    """
+    totals = sub_all.sum(axis=1)
+    keep_cells = totals >= minsup_min
+    values = np.full((len(specs), len(totals)), np.nan)
+    if keep_cells.any():
+        # Prepare once per context (float64 cast + empty-unit drop),
+        # not once per index: every spec sees the same batch.
+        tvec_f = tvec.astype(np.float64)
+        sub = sub_all[keep_cells].astype(np.float64)
+        keep_units = tvec_f > 0
+        if not keep_units.all():
+            tvec_f = tvec_f[keep_units]
+            sub = np.ascontiguousarray(sub[:, keep_units])
+        for j, spec in enumerate(specs):
+            values[j, keep_cells] = spec.compute_batch_prepared(tvec_f, sub)
+    return totals, keep_cells, values
+
+
+def plan_context_batches(
+    by_context: "dict[Itemset, list[int]]",
+    max_batch_cells: int,
+) -> "list[list[tuple[Itemset, list[int]]]]":
+    """Slice context groups into bounded batches of matrix rows.
+
+    Kernels are row-independent, so contexts are sliced freely into
+    batches of exactly ``max_batch_cells`` rows (the last one smaller)
+    — the memory bound holds even when a single popular context
+    dominates the candidate set.
+    """
+    batches: "list[list[tuple[Itemset, list[int]]]]" = []
+    batch_acc: "list[tuple[Itemset, list[int]]]" = []
+    room = max_batch_cells
+    for ca_part, rows in by_context.items():
+        start = 0
+        while start < len(rows):
+            take = rows[start:start + room]
+            batch_acc.append((ca_part, take))
+            start += len(take)
+            room -= len(take)
+            if room == 0:
+                batches.append(batch_acc)
+                batch_acc, room = [], max_batch_cells
+    if batch_acc:
+        batches.append(batch_acc)
+    return batches
+
+
+@dataclass
+class CandidateArrays:
+    """Phase A output: the candidate cells in mining order.
+
+    ``rows_of[i] == -1`` marks a context-only candidate (no counting
+    needed); otherwise it is the candidate's row in the SA count
+    matrix / ``sa_covers`` list.
+    """
+
+    keys: "list[CellKey]"
+    contexts: "list[Itemset]"
+    sa_covers: "list[Cover]"
+    rows_of: np.ndarray
+    pops: np.ndarray
+    units_of: np.ndarray
+
+    def rows_by_context(self) -> "dict[Itemset, list[int]]":
+        """Group SA-bearing matrix rows by their context."""
+        by_context: "dict[Itemset, list[int]]" = {}
+        for cand, row in enumerate(self.rows_of):
+            if row >= 0:
+                by_context.setdefault(
+                    self.contexts[cand], []
+                ).append(int(row))
+        return by_context
 
 
 @dataclass
@@ -113,8 +207,13 @@ class SegregationDataCubeBuilder:
     engine:
         Fill strategy: ``"columnar"`` (default) batches all cells
         through the count-matrix and vectorized index kernels;
-        ``"percell"`` is the scalar reference path.  Both produce
-        bit-identical cubes.
+        ``"percell"`` is the scalar reference path; ``"parallel"``
+        partitions the context groups across ``workers`` processes
+        (see :mod:`repro.cube.parallel`).  All produce bit-identical
+        cubes.
+    workers:
+        Process count for ``engine="parallel"`` (None = one per CPU);
+        ignored by the other engines.
     """
 
     def __init__(
@@ -128,14 +227,17 @@ class SegregationDataCubeBuilder:
         backend: str = "eclat",
         codec: str = "packed",
         engine: str = "columnar",
+        workers: "int | None" = None,
     ):
         if mode not in ("all", "closed"):
             raise CubeError(f"mode must be 'all' or 'closed', got {mode!r}")
-        if engine not in ("columnar", "percell", "incremental"):
+        if engine not in ("columnar", "percell", "incremental", "parallel"):
             raise CubeError(
-                "engine must be 'columnar', 'percell' or 'incremental', "
-                f"got {engine!r}"
+                "engine must be 'columnar', 'percell', 'incremental' or "
+                f"'parallel', got {engine!r}"
             )
+        if workers is not None and int(workers) < 1:
+            raise CubeError(f"workers must be >= 1, got {workers!r}")
         self.indexes: list[IndexSpec] = resolve_indexes(indexes)
         self.min_population = min_population
         self.min_minority = min_minority
@@ -145,6 +247,7 @@ class SegregationDataCubeBuilder:
         self.backend = backend
         self.codec = codec
         self.engine = engine
+        self.workers = None if workers is None else int(workers)
 
     # ------------------------------------------------------------------
 
@@ -164,8 +267,14 @@ class SegregationDataCubeBuilder:
             raise CubeError("transaction database has no unit labels")
         started = time.perf_counter()
         mined = self.mine_coordinates(db)
+        extra_meta: "dict[str, object]" = {}
         if self.engine == "percell":
             store = self._fill_percell(db, mined)
+        elif self.engine == "parallel":
+            from repro.cube.parallel import fill_parallel, resolve_workers
+
+            store = fill_parallel(self, db, mined)
+            extra_meta["workers"] = resolve_workers(self.workers)
         else:
             # "incremental" cold-starts (and plain-builds) through the
             # columnar fill; its delta path lives in cube/incremental.py.
@@ -184,6 +293,7 @@ class SegregationDataCubeBuilder:
                 "n_contexts": mined.n_contexts,
                 "n_mined_itemsets": len(mined.mixed_covers),
                 "engine": self.engine,
+                **extra_meta,
             },
         )
         resolver = _LazyResolver(
@@ -314,24 +424,12 @@ class SegregationDataCubeBuilder:
             key: CellKey = (sa_part, ca_part)
             yield key, ca_part, cover
 
-    def _fill_columnar(
+    def _enumerate_candidates(
         self, db: TransactionDatabase, mined: MinedCoordinates
-    ) -> CellTable:
-        """Batch-evaluate every candidate cell through count matrices.
-
-        SA-bearing candidates are grouped by context and processed in
-        bounded batches of contexts: each batch gets its minority-count
-        matrix from one ``unit_counts_many`` pass, rows below
-        ``min_minority`` are dropped with one mask, and each index is
-        evaluated per context with a single batched kernel call over
-        that context's surviving rows.  Only per-cell scalars (minority
-        totals, index values) persist across batches, so peak memory is
-        bounded by the batch size, not ``n_cells * n_units``.
-        """
-        specs = self.indexes
-        # Phase A — enumerate candidates in mining order (the order the
-        # per-cell path inserts cells in).  Context-only cells (empty SA
-        # part) need no counting; SA-bearing cells queue their covers.
+    ) -> CandidateArrays:
+        """Phase A — enumerate candidates in mining order (the order the
+        per-cell path inserts cells in).  Context-only cells (empty SA
+        part) need no counting; SA-bearing cells queue their covers."""
         cand_keys: "list[CellKey]" = []
         cand_ctx: "list[Itemset]" = []
         sa_covers: "list[Cover]" = []
@@ -345,78 +443,32 @@ class SegregationDataCubeBuilder:
             else:
                 sa_row.append(-1)
         n_cand = len(cand_keys)
-        rows_of = np.array(sa_row, dtype=np.int64)
-        pops = np.fromiter(
-            (mined.context_pops[b] for b in cand_ctx), dtype=np.int64,
-            count=n_cand,
-        )
-        units_of = np.fromiter(
-            (mined.context_nunits[b] for b in cand_ctx), dtype=np.int64,
-            count=n_cand,
+        return CandidateArrays(
+            keys=cand_keys,
+            contexts=cand_ctx,
+            sa_covers=sa_covers,
+            rows_of=np.array(sa_row, dtype=np.int64),
+            pops=np.fromiter(
+                (mined.context_pops[b] for b in cand_ctx),
+                dtype=np.int64, count=n_cand,
+            ),
+            units_of=np.fromiter(
+                (mined.context_nunits[b] for b in cand_ctx),
+                dtype=np.int64, count=n_cand,
+            ),
         )
 
-        # Phase B/C — count and evaluate per bounded batch of contexts.
-        # Grouping by context lets each batch share one grouped
-        # ``unit_counts_many`` pass and one kernel-input preparation per
-        # context; the count matrix of a batch is discarded once its
-        # minority totals and index values are extracted.
-        by_context: "dict[Itemset, list[int]]" = {}
-        for cand, row in enumerate(rows_of):
-            if row >= 0:
-                by_context.setdefault(cand_ctx[cand], []).append(int(row))
-        minority_totals = np.zeros(len(sa_covers), dtype=np.int64)
-        kept_rows = np.zeros(len(sa_covers), dtype=bool)
-        values = np.full((len(specs), len(sa_covers)), np.nan)
-        n_units = max(1, db.n_units)
-        max_batch_cells = max(1, _FILL_BATCH_CELLS // n_units)
-        # Kernels are row-independent, so contexts are sliced freely
-        # into batches of exactly max_batch_cells rows (the last one
-        # smaller) — the memory bound holds even when a single popular
-        # context dominates the candidate set.
-        batches: "list[list[tuple[Itemset, list[int]]]]" = []
-        batch_acc: "list[tuple[Itemset, list[int]]]" = []
-        room = max_batch_cells
-        for ca_part, rows in by_context.items():
-            start = 0
-            while start < len(rows):
-                take = rows[start:start + room]
-                batch_acc.append((ca_part, take))
-                start += len(take)
-                room -= len(take)
-                if room == 0:
-                    batches.append(batch_acc)
-                    batch_acc, room = [], max_batch_cells
-        if batch_acc:
-            batches.append(batch_acc)
-        for batch in batches:
-            matrix = db.unit_counts_many(
-                [sa_covers[r] for _, rows in batch for r in rows]
-            )
-            offset = 0
-            for ca_part, rows in batch:
-                sub_all = matrix[offset:offset + len(rows)]
-                offset += len(rows)
-                totals = sub_all.sum(axis=1)
-                minority_totals[rows] = totals
-                keep_cells = totals >= mined.minsup_min
-                kept = [r for r, k in zip(rows, keep_cells) if k]
-                if not kept:
-                    continue
-                kept_rows[kept] = True
-                # Prepare once per context (float64 cast + empty-unit
-                # drop), not once per index: every spec sees the same
-                # batch.
-                tvec = mined.context_tvecs[ca_part].astype(np.float64)
-                sub = sub_all[keep_cells].astype(np.float64)
-                keep_units = tvec > 0
-                if not keep_units.all():
-                    tvec = tvec[keep_units]
-                    sub = np.ascontiguousarray(sub[:, keep_units])
-                for j, spec in enumerate(specs):
-                    values[j, kept] = spec.compute_batch_prepared(tvec, sub)
-
-        # Phase D — scatter the surviving candidates into the store,
-        # keeping mining order.
+    def _assemble_cells(
+        self,
+        db: TransactionDatabase,
+        cand: CandidateArrays,
+        minority_totals: np.ndarray,
+        kept_rows: np.ndarray,
+        values: np.ndarray,
+    ) -> CellTable:
+        """Phase D — scatter the surviving candidates into the store,
+        keeping mining order."""
+        rows_of, pops = cand.rows_of, cand.pops
         is_ctx = rows_of < 0
         emit = is_ctx.copy()
         emit[~is_ctx] = kept_rows[rows_of[~is_ctx]]
@@ -427,17 +479,67 @@ class SegregationDataCubeBuilder:
         minority[out_is_ctx] = pops[out_idx][out_is_ctx]
         minority[~out_is_ctx] = minority_totals[out_rows[~out_is_ctx]]
         columns = {}
-        for j, spec in enumerate(specs):
+        for j, spec in enumerate(self.indexes):
             col = np.full(len(out_idx), np.nan)
             col[~out_is_ctx] = values[j, out_rows[~out_is_ctx]]
             columns[spec.name] = col
         return CellTable(
-            [cand_keys[i] for i in out_idx],
+            [cand.keys[i] for i in out_idx],
             pops[out_idx],
             minority,
-            units_of[out_idx],
+            cand.units_of[out_idx],
             columns,
             len(db.dictionary),
+        )
+
+    def _fill_columnar(
+        self, db: TransactionDatabase, mined: MinedCoordinates
+    ) -> CellTable:
+        """Batch-evaluate every candidate cell through count matrices.
+
+        SA-bearing candidates are grouped by context and processed in
+        bounded batches of contexts: each batch gets its minority-count
+        matrix from one ``unit_counts_many`` pass, rows below
+        ``min_minority`` are dropped with one mask, and each index is
+        evaluated per context with a single batched kernel call over
+        that context's surviving rows (:func:`eval_context_block`).
+        Only per-cell scalars (minority totals, index values) persist
+        across batches, so peak memory is bounded by the batch size,
+        not ``n_cells * n_units``.
+        """
+        specs = self.indexes
+        cand = self._enumerate_candidates(db, mined)
+        sa_covers = cand.sa_covers
+
+        # Phase B/C — count and evaluate per bounded batch of contexts.
+        # Grouping by context lets each batch share one grouped
+        # ``unit_counts_many`` pass and one kernel-input preparation per
+        # context; the count matrix of a batch is discarded once its
+        # minority totals and index values are extracted.
+        by_context = cand.rows_by_context()
+        minority_totals = np.zeros(len(sa_covers), dtype=np.int64)
+        kept_rows = np.zeros(len(sa_covers), dtype=bool)
+        values = np.full((len(specs), len(sa_covers)), np.nan)
+        n_units = max(1, db.n_units)
+        max_batch_cells = max(1, _FILL_BATCH_CELLS // n_units)
+        for batch in plan_context_batches(by_context, max_batch_cells):
+            matrix = db.unit_counts_many(
+                [sa_covers[r] for _, rows in batch for r in rows]
+            )
+            offset = 0
+            for ca_part, rows in batch:
+                sub_all = matrix[offset:offset + len(rows)]
+                offset += len(rows)
+                totals, keep_cells, block = eval_context_block(
+                    specs, mined.context_tvecs[ca_part], sub_all,
+                    mined.minsup_min,
+                )
+                minority_totals[rows] = totals
+                kept_rows[rows] = keep_cells
+                values[:, rows] = block
+
+        return self._assemble_cells(
+            db, cand, minority_totals, kept_rows, values
         )
 
     def _fill_percell(
@@ -566,6 +668,7 @@ def build_cube(
     mode: str = "all",
     codec: str = "packed",
     engine: str = "columnar",
+    workers: "int | None" = None,
     snapshot_path=None,
 ) -> SegregationCube:
     """One-call convenience wrapper around the builder.
@@ -582,6 +685,7 @@ def build_cube(
         mode=mode,
         codec=codec,
         engine=engine,
+        workers=workers,
     )
     cube = builder.build(table, schema)
     if snapshot_path is not None:

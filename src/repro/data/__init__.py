@@ -28,6 +28,7 @@ from repro.data.synthetic import (
     planted_table,
     random_final_table,
     uniform_table,
+    write_random_final_table_csv,
 )
 
 __all__ = [
@@ -47,4 +48,5 @@ __all__ = [
     "random_final_table",
     "uniform_table",
     "vocab",
+    "write_random_final_table_csv",
 ]

@@ -8,11 +8,14 @@ statistical closeness.
 
 from __future__ import annotations
 
+import csv
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
 from repro.errors import ReproError
+from repro.etl.csvio import SET_SEPARATOR
 from repro.etl.schema import Schema
 from repro.etl.table import Table
 from repro.indexes.counts import UnitCounts
@@ -153,6 +156,94 @@ def random_final_table(
         multi_valued=list(multi_valued_ca),
     )
     return table, schema
+
+
+def write_random_final_table_csv(
+    path,
+    n_rows: int,
+    n_units: int = 1000,
+    sa_attributes: "dict[str, int] | None" = None,
+    ca_attributes: "dict[str, int] | None" = None,
+    multi_valued_ca: "dict[str, int] | None" = None,
+    seed: int = 0,
+    skew: float = 0.0,
+    chunk_rows: int = 65536,
+    delimiter: str = ",",
+) -> Schema:
+    """Write a random ``finalTable`` CSV of any size without building it.
+
+    The out-of-core sibling of :func:`random_final_table`: the same
+    value scheme (``f"{attr}{k}"`` labels, geometric skew, 0-3 values
+    per multi-valued cell, integer ``unitID``), but rows are generated
+    and written ``chunk_rows`` at a time, so peak memory is one chunk
+    regardless of ``n_rows`` — this is what benchmark E21 uses to
+    produce its 10M-row input.  Deterministic per ``seed``, though the
+    row stream differs from ``random_final_table``'s (values are drawn
+    chunk by chunk, not column by column over the whole table).
+
+    Returns the matching :class:`~repro.etl.schema.Schema`; read the
+    file back with :func:`repro.etl.stream.stream_csv`.
+    """
+    if n_rows < 1 or n_units < 1:
+        raise ReproError("n_rows and n_units must be positive")
+    if skew < 0:
+        raise ReproError("skew must be non-negative")
+    if chunk_rows < 1:
+        raise ReproError("chunk_rows must be positive")
+    rng = np.random.default_rng(seed)
+    sa_attributes = sa_attributes or {"gender": 2, "age": 3}
+    ca_attributes = ca_attributes or {"region": 3}
+    multi_valued_ca = multi_valued_ca or {}
+    header = (
+        list(sa_attributes) + list(ca_attributes) + list(multi_valued_ca)
+        + ["unitID"]
+    )
+
+    def draw(cardinality: int, n: int) -> np.ndarray:
+        if skew == 0:
+            return rng.integers(0, cardinality, n)
+        probs = (1.0 + skew) ** -np.arange(cardinality, dtype=float)
+        probs /= probs.sum()
+        return rng.choice(cardinality, size=n, p=probs)
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as f:
+        writer = csv.writer(f, delimiter=delimiter)
+        writer.writerow(header)
+        written = 0
+        while written < n_rows:
+            n = min(chunk_rows, n_rows - written)
+            columns: "list[list[str]]" = []
+            for attr, cardinality in {**sa_attributes,
+                                      **ca_attributes}.items():
+                values = [f"{attr}{k}" for k in range(cardinality)]
+                columns.append([values[i] for i in draw(cardinality, n)])
+            for attr, cardinality in multi_valued_ca.items():
+                values = [f"{attr}{k}" for k in range(cardinality)]
+                max_size = min(3, cardinality)
+                sizes = rng.integers(0, max_size + 1, n)
+                # One random permutation per row (argsorted uniforms);
+                # the first `size` entries are the row's value set — no
+                # per-row rng calls.
+                order = np.argsort(rng.random((n, cardinality)), axis=1)
+                columns.append([
+                    SET_SEPARATOR.join(
+                        sorted(values[j] for j in row[:size])
+                    )
+                    for row, size in zip(order, sizes)
+                ])
+            columns.append(
+                [str(u) for u in rng.integers(0, n_units, n)]
+            )
+            writer.writerows(zip(*columns))
+            written += n
+    return Schema.build(
+        segregation=list(sa_attributes),
+        context=list(ca_attributes) + list(multi_valued_ca),
+        unit="unitID",
+        multi_valued=list(multi_valued_ca),
+    )
 
 
 def random_temporal_final_table(

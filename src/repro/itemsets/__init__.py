@@ -32,10 +32,15 @@ from repro.itemsets.miner import (
     absolute_minsup,
     mine,
 )
-from repro.itemsets.transactions import TransactionDatabase, encode_table
+from repro.itemsets.transactions import (
+    EncodeAccumulator,
+    TransactionDatabase,
+    encode_table,
+)
 
 __all__ = [
     "BACKENDS",
+    "EncodeAccumulator",
     "COVER_CODECS",
     "Cover",
     "CoverSet",

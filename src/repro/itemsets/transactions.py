@@ -14,12 +14,25 @@ packed-bitmap :class:`~repro.itemsets.coverset.CoverSet` objects (or the
 ``"bool"`` / ``"ewah"`` codecs) rather than dense byte-per-transaction
 boolean arrays.  Encoding, per-item supports and per-unit splitting are
 all vectorized; no per-row Python loop touches the hot path.
+
+Two encoding paths produce the same database bit for bit:
+
+* :func:`encode_table` — one-shot, for tables that fit in memory;
+* :class:`EncodeAccumulator` / :meth:`TransactionDatabase.from_chunks` —
+  append-only, folding fixed-size table chunks (see
+  :mod:`repro.etl.stream`) into the CSR store as they arrive, with an
+  optional ``np.memmap`` disk spill once the accumulated index buffers
+  exceed a byte budget.  This is the out-of-core path: no per-row
+  Python lists and no full-input item arrays are ever held in memory.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+import shutil
+import tempfile
+from collections.abc import Iterable, Iterator, Sequence
 from itertools import chain
+from pathlib import Path
 
 import numpy as np
 
@@ -28,6 +41,10 @@ from repro.etl.schema import Role, Schema
 from repro.etl.table import CategoricalColumn, MultiValuedColumn, Table
 from repro.itemsets.coverset import Cover, as_cover, get_codec
 from repro.itemsets.items import Item, ItemDictionary, ItemKind
+
+#: Target entry count of one merge window in the chunked-encode
+#: finalisation (bounds scratch at a few dozen MB regardless of input).
+_ENCODE_WINDOW_ENTRIES = 1 << 22
 
 
 class TransactionDatabase:
@@ -107,6 +124,34 @@ class TransactionDatabase:
         db._init(indptr, it, dictionary, units, codec)
         db._rows = None
         return db
+
+    @classmethod
+    def from_chunks(
+        cls,
+        chunks: "Iterable[Table]",
+        schema: Schema,
+        codec: str = "packed",
+        spill_bytes: "int | None" = None,
+        scratch_dir: "str | Path | None" = None,
+    ) -> "TransactionDatabase":
+        """Encode a stream of table chunks into one database.
+
+        The chunks are folded append-only through an
+        :class:`EncodeAccumulator`; the result is **bit-identical** to
+        :func:`encode_table` on the concatenated table (same item ids,
+        same CSR arrays, same unit labels), but the full input never has
+        to exist in memory at once.  ``spill_bytes`` bounds the RAM the
+        accumulated item-index buffers may occupy before they spill to
+        ``np.memmap`` scratch files under ``scratch_dir`` (a temporary
+        directory by default, removed when encoding completes).
+        """
+        accumulator = EncodeAccumulator(
+            schema, codec=codec, spill_bytes=spill_bytes,
+            scratch_dir=scratch_dir,
+        )
+        for chunk in chunks:
+            accumulator.add_chunk(chunk)
+        return accumulator.finalize()
 
     def _init(
         self,
@@ -442,13 +487,7 @@ def encode_table(
                  for value in col.categories],
                 dtype=np.int64,
             )
-            lengths = np.fromiter(
-                (len(r) for r in col.rows), dtype=np.int64, count=n
-            )
-            flat = np.fromiter(
-                chain.from_iterable(col.rows), dtype=np.int64,
-                count=int(lengths.sum()),
-            )
+            lengths, flat = _mv_lengths_flat(col.rows, n)
             row_parts.append(np.repeat(all_rows, lengths))
             item_parts.append(ids[flat])
         else:
@@ -468,3 +507,329 @@ def encode_table(
     return TransactionDatabase.from_item_arrays(
         row_ids, item_ids, n, dictionary, units, codec
     )
+
+
+def _mv_lengths_flat(
+    rows: "Sequence[tuple[int, ...]]", n: int
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Per-row set sizes and flattened codes in one pass over ``rows``.
+
+    Single traversal of the code tuples (lengths and flat values are
+    collected together), instead of one ``np.fromiter`` pass for the
+    lengths and a second full ``chain.from_iterable`` materialisation
+    for the values.  Output is bit-identical to the two-pass form.
+    """
+    lengths = np.empty(n, dtype=np.int64)
+    flat_list: "list[int]" = []
+    for i, row in enumerate(rows):
+        lengths[i] = len(row)
+        flat_list.extend(row)
+    flat = np.asarray(flat_list, dtype=np.int64)
+    return lengths, flat
+
+
+class _SpillBuffer:
+    """Append-only ``int64`` sequence with an optional disk spill.
+
+    Arrays are appended in RAM; :meth:`spill` moves everything pending
+    to a scratch file (raw little-endian int64, appended), and
+    :meth:`finalize` hands back the whole logical sequence — either a
+    single in-memory array or a read-only ``np.memmap`` over the
+    scratch file.  The accumulator owns the scratch directory lifetime.
+    """
+
+    def __init__(self, path: Path):
+        self._path = path
+        self._file = None
+        self._parts: "list[np.ndarray]" = []
+        self.pending_bytes = 0
+        self._spilled_len = 0
+
+    @property
+    def spilled(self) -> bool:
+        return self._file is not None
+
+    def append(self, arr: np.ndarray) -> None:
+        arr = np.ascontiguousarray(arr, dtype=np.int64)
+        if len(arr) == 0:
+            return
+        self._parts.append(arr)
+        self.pending_bytes += arr.nbytes
+
+    def spill(self) -> None:
+        if not self._parts:
+            return
+        if self._file is None:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = self._path.open("wb")
+        for arr in self._parts:
+            arr.tofile(self._file)
+            self._spilled_len += len(arr)
+        self._file.flush()
+        self._parts = []
+        self.pending_bytes = 0
+
+    def finalize(self) -> np.ndarray:
+        """The whole appended sequence, memmapped when spilled."""
+        if self._file is not None:
+            self.spill()
+            self._file.close()
+            self._file = None
+            if self._spilled_len == 0:
+                return np.zeros(0, dtype=np.int64)
+            return np.memmap(
+                self._path, dtype=np.int64, mode="r",
+                shape=(self._spilled_len,),
+            )
+        if not self._parts:
+            return np.zeros(0, dtype=np.int64)
+        if len(self._parts) == 1:
+            return self._parts[0]
+        return np.concatenate(self._parts)
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+class _SpecState:
+    """Per-attribute accumulation state: category universe + buffers."""
+
+    __slots__ = ("spec", "kind", "multi", "index", "categories", "codes",
+                 "rows")
+
+    def __init__(self, spec, kind: ItemKind, multi: bool, scratch: Path):
+        self.spec = spec
+        self.kind = kind
+        self.multi = multi
+        self.index: "dict[object, int]" = {}
+        self.categories: "list[object]" = []
+        self.codes = _SpillBuffer(scratch / f"{spec.name}.codes.i64")
+        self.rows = (
+            _SpillBuffer(scratch / f"{spec.name}.rows.i64") if multi
+            else None
+        )
+
+    def translate(self, chunk_categories: "Sequence[object]") -> np.ndarray:
+        """Chunk-local category codes -> global per-column codes.
+
+        Global codes are assigned in first-seen order across the whole
+        stream, which — because chunks arrive in row order — is exactly
+        the order :class:`~repro.etl.table.CategoricalColumn.from_values`
+        assigns them on the concatenated table.  That is what makes the
+        chunked encode bit-identical to the one-shot encode.
+        """
+        mapping = np.empty(len(chunk_categories), dtype=np.int64)
+        for local, value in enumerate(chunk_categories):
+            code = self.index.get(value)
+            if code is None:
+                code = len(self.categories)
+                self.index[value] = code
+                self.categories.append(value)
+            mapping[local] = code
+        return mapping
+
+
+class EncodeAccumulator:
+    """Append-only encoder: fold table chunks into one CSR database.
+
+    The out-of-core counterpart of :func:`encode_table`: chunks stream
+    through :meth:`add_chunk` (each validated against the schema), the
+    per-column category universes accumulate in first-seen order, and
+    the per-item index buffers either stay in RAM or — once they exceed
+    ``spill_bytes`` — spill to ``np.memmap`` scratch files.
+    :meth:`finalize` merges the buffers into the CSR arrays in bounded
+    row windows (one small ``lexsort`` per window, never a full-input
+    sort) and returns a :class:`TransactionDatabase` **bit-identical**
+    to ``encode_table`` on the concatenated table.
+
+    Notes
+    -----
+    * The category universe is the *observed* values: a category carried
+      by a column but appearing in no row contributes no item (identical
+      to ``encode_table`` on any ``from_values``-built table).
+    * ``spill_bytes`` budgets the item-index buffers only; the unit
+      labels (8 bytes/row) and the final CSR arrays are in-memory.
+    * Scratch files live in a private temporary directory (or under
+      ``scratch_dir``) and are removed when :meth:`finalize` returns or
+      :meth:`close` is called.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        codec: str = "packed",
+        spill_bytes: "int | None" = None,
+        scratch_dir: "str | Path | None" = None,
+    ):
+        get_codec(codec)  # validate the name eagerly
+        if spill_bytes is not None and spill_bytes < 0:
+            raise MiningError("spill_bytes must be non-negative")
+        self.schema = schema
+        self.codec = codec
+        self._spill_bytes = spill_bytes
+        self._scratch = Path(tempfile.mkdtemp(
+            prefix="repro-encode-",
+            dir=None if scratch_dir is None else str(scratch_dir),
+        ))
+        self._states: "list[_SpecState]" = []
+        for spec in schema.specs:
+            if spec.role is Role.SEGREGATION:
+                kind = ItemKind.SA
+            elif spec.role is Role.CONTEXT:
+                kind = ItemKind.CA
+            else:
+                continue
+            self._states.append(
+                _SpecState(spec, kind, spec.multi_valued, self._scratch)
+            )
+        unit_names = [s.name for s in schema.specs if s.role is Role.UNIT]
+        self._unit_name = unit_names[0] if unit_names else None
+        self._units_parts: "list[np.ndarray]" = []
+        self._n_rows = 0
+        self._finalized = False
+
+    @property
+    def n_rows(self) -> int:
+        """Rows accumulated so far."""
+        return self._n_rows
+
+    @property
+    def spilled(self) -> bool:
+        """True once any index buffer has spilled to disk."""
+        return any(
+            state.codes.spilled or (state.rows is not None
+                                    and state.rows.spilled)
+            for state in self._states
+        )
+
+    def add_chunk(self, table: Table) -> None:
+        """Fold one table chunk into the accumulated encoding."""
+        if self._finalized:
+            raise MiningError("accumulator already finalized")
+        self.schema.validate(table)
+        n = len(table)
+        start = self._n_rows
+        for state in self._states:
+            col = table.column(state.spec.name)
+            mapping = state.translate(col.categories)
+            if state.multi:
+                lengths, flat = _mv_lengths_flat(col.rows, n)
+                state.rows.append(np.repeat(
+                    np.arange(start, start + n, dtype=np.int64), lengths
+                ))
+                state.codes.append(mapping[flat] if len(flat)
+                                   else flat)
+            else:
+                state.codes.append(mapping[col.codes])
+        if self._unit_name is not None:
+            self._units_parts.append(
+                np.asarray(table.ints(self._unit_name).data, dtype=np.int64)
+            )
+        self._n_rows += n
+        if self._spill_bytes is not None:
+            pending = sum(
+                state.codes.pending_bytes
+                + (state.rows.pending_bytes if state.rows is not None else 0)
+                for state in self._states
+            )
+            if pending > self._spill_bytes:
+                for state in self._states:
+                    state.codes.spill()
+                    if state.rows is not None:
+                        state.rows.spill()
+
+    def finalize(self) -> TransactionDatabase:
+        """Merge the accumulated buffers into one database.
+
+        The item dictionary is built exactly as :func:`encode_table`
+        builds it — per schema spec, categories in first-seen order —
+        so every spec's items occupy one contiguous id range starting at
+        a per-spec base.  Final item ids are therefore
+        ``base + column code``, and the CSR ``indices`` array is filled
+        window by window: each row window gathers its per-spec segments
+        (categorical buffers index directly, multi-valued buffers via
+        ``searchsorted`` on their row arrays, both memmap-friendly) and
+        sorts them with one bounded ``lexsort``.
+        """
+        if self._finalized:
+            raise MiningError("accumulator already finalized")
+        self._finalized = True
+        try:
+            dictionary = ItemDictionary()
+            bases: "list[int]" = []
+            for state in self._states:
+                bases.append(len(dictionary))
+                for value in state.categories:
+                    dictionary.add(Item(state.spec.name, value), state.kind)
+
+            n = self._n_rows
+            cat = [(s, b) for s, b in zip(self._states, bases) if not s.multi]
+            mv = [(s, b) for s, b in zip(self._states, bases) if s.multi]
+            cat_arrays = [(s.codes.finalize(), b) for s, b in cat]
+            mv_arrays = [
+                (s.rows.finalize(), s.codes.finalize(), b) for s, b in mv
+            ]
+
+            counts = np.full(n, len(cat), dtype=np.int64)
+            for rows_arr, _, _ in mv_arrays:
+                if len(rows_arr):
+                    counts += np.bincount(rows_arr, minlength=n)
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            total = int(indptr[-1])
+            indices = np.empty(total, dtype=np.int64)
+
+            per_row = max(1, total // n) if n else 1
+            window = max(1, _ENCODE_WINDOW_ENTRIES // per_row)
+            for a in range(0, n, window):
+                b = min(n, a + window)
+                ids_parts: "list[np.ndarray]" = []
+                rows_parts: "list[np.ndarray]" = []
+                for codes_arr, base in cat_arrays:
+                    ids_parts.append(
+                        np.asarray(codes_arr[a:b], dtype=np.int64) + base
+                    )
+                    rows_parts.append(np.arange(a, b, dtype=np.int64))
+                for rows_arr, codes_arr, base in mv_arrays:
+                    lo, hi = np.searchsorted(rows_arr, [a, b])
+                    ids_parts.append(
+                        np.asarray(codes_arr[lo:hi], dtype=np.int64) + base
+                    )
+                    rows_parts.append(
+                        np.asarray(rows_arr[lo:hi], dtype=np.int64)
+                    )
+                if not ids_parts:
+                    continue
+                ids_w = np.concatenate(ids_parts)
+                rows_w = np.concatenate(rows_parts)
+                order = np.lexsort((ids_w, rows_w))
+                indices[indptr[a]:indptr[b]] = ids_w[order]
+
+            units: "np.ndarray | None" = None
+            if self._unit_name is not None:
+                units = (
+                    np.concatenate(self._units_parts) if self._units_parts
+                    else np.zeros(0, dtype=np.int64)
+                )
+            db = TransactionDatabase.__new__(TransactionDatabase)
+            db._init(indptr, indices, dictionary, units, self.codec)
+            db._rows = None
+            return db
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        """Release scratch files (idempotent; finalize calls it)."""
+        for state in self._states:
+            state.codes.close()
+            if state.rows is not None:
+                state.rows.close()
+        shutil.rmtree(self._scratch, ignore_errors=True)
+
+    def __del__(self) -> None:  # pragma: no cover - GC-timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass

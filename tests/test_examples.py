@@ -61,6 +61,15 @@ def test_persist_and_serve_round_trips(in_tmp_dir, capsys):
     assert (in_tmp_dir / "schools_snapshot" / "manifest.json").exists()
 
 
+def test_big_build_streams_and_serves(in_tmp_dir, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "big_build.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "without building a table" in out
+    assert "spilled to scratch: True" in out
+    assert "parity vs columnar: identical" in out
+    assert (in_tmp_dir / "big_snapshot" / "manifest.json").exists()
+
+
 def test_estonian_temporal_reports_trend(in_tmp_dir, capsys):
     runpy.run_path(
         str(EXAMPLES_DIR / "estonian_temporal.py"), run_name="__main__"
