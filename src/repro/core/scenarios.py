@@ -11,12 +11,21 @@ increasing complexity:
 3. **bipartite** — the full pipeline: project companies over shared
    directors, cluster, join, cube:
    "... in communities of connected companies?".
+
+The graph scenarios (2 and 3) can additionally persist their projected
+graph + clustering as a durable **graph snapshot**
+(``graph_snapshot_path=``, written by
+:func:`repro.store.dump_graph_snapshot`): ``.npy`` edge/label arrays
+behind a ``graph_manifest.json``, reopenable without re-projecting and
+servable over HTTP via ``make_app(..., graph_source=...)`` —
+``/graph/info``, ``/graph/clusters``, ``/graph/degree``.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.core.config import ClusteringConfig, CubeConfig, PipelineConfig
 from repro.core.pipeline import PipelineResult, SCubePipeline
@@ -27,14 +36,19 @@ from repro.errors import ConfigError
 from repro.etl.builder import UNIT_COLUMN, tabular_final_table
 from repro.etl.schema import AttributeSpec, Role, Schema
 from repro.etl.table import IntColumn, Table
-from repro.graph.bipartite import project_onto_individuals
+from repro.graph.bipartite import ProjectionResult, project_onto_individuals
 from repro.graph.components import Clustering, connected_components
 from repro.graph.threshold import threshold_components
 
 
 @dataclass
 class ScenarioResult:
-    """Output of one demo scenario."""
+    """Output of one demo scenario.
+
+    ``graph_snapshot`` is the directory the scenario's projected graph
+    and clustering were persisted to (graph scenarios with
+    ``graph_snapshot_path=`` only; ``None`` otherwise).
+    """
 
     name: str
     cube: SegregationCube
@@ -42,6 +56,22 @@ class ScenarioResult:
     final_schema: Schema
     n_units: int
     timings: dict[str, float] = field(default_factory=dict)
+    graph_snapshot: "Path | None" = None
+
+
+def _dump_scenario_graph(
+    projection: ProjectionResult,
+    clustering: Clustering,
+    path: "str | Path",
+    provenance: "dict[str, object]",
+) -> Path:
+    """Persist a scenario's graph output as a reopenable snapshot."""
+    from repro.store.graph import GraphArtifact, dump_graph_snapshot
+
+    artifact = GraphArtifact.from_result(
+        projection, clustering, provenance=provenance
+    )
+    return dump_graph_snapshot(artifact, path)
 
 
 def _cube_builder(config: "CubeConfig | None") -> SegregationDataCubeBuilder:
@@ -87,12 +117,16 @@ def run_director_graph(
     cube_config: "CubeConfig | None" = None,
     snapshot_date: "int | None" = None,
     min_shared: int = 1,
+    graph_snapshot_path: "str | Path | None" = None,
 ) -> ScenarioResult:
     """Scenario 2: cluster the director-director graph into units.
 
     Two directors are connected when they sit on at least one common
     board; each community of connected directors becomes one unit, and
-    every director belongs to exactly one unit.
+    every director belongs to exactly one unit.  When
+    ``graph_snapshot_path`` is given, the projected director graph and
+    its clustering are persisted there as a graph snapshot
+    (queryable later without re-projecting).
     """
     clustering_config = clustering_config or ClusteringConfig(method="components")
     t0 = time.perf_counter()
@@ -103,6 +137,22 @@ def run_director_graph(
     t0 = time.perf_counter()
     clustering = _cluster_plain(projection.graph, clustering_config)
     cluster_seconds = time.perf_counter() - t0
+
+    graph_snapshot = None
+    snapshot_seconds = None
+    if graph_snapshot_path is not None:
+        t0 = time.perf_counter()
+        graph_snapshot = _dump_scenario_graph(
+            projection, clustering, graph_snapshot_path,
+            provenance={
+                "scenario": "director-graph",
+                "projection": "individuals",
+                "min_shared": min_shared,
+                "snapshot_date": snapshot_date,
+                "clustering_method": clustering_config.method,
+            },
+        )
+        snapshot_seconds = time.perf_counter() - t0
 
     t0 = time.perf_counter()
     labels = clustering.labels
@@ -120,29 +170,54 @@ def run_director_graph(
 
     t0 = time.perf_counter()
     cube = _cube_builder(cube_config).build(final_table, final_schema)
+    timings = {
+        "graph_builder": graph_seconds,
+        "graph_clustering": cluster_seconds,
+        "table_builder": table_seconds,
+        "cube_builder": time.perf_counter() - t0,
+    }
+    if snapshot_seconds is not None:
+        timings["graph_snapshot"] = snapshot_seconds
     return ScenarioResult(
         name="director-graph",
         cube=cube,
         final_table=final_table,
         final_schema=final_schema,
         n_units=clustering.n_clusters,
-        timings={
-            "graph_builder": graph_seconds,
-            "graph_clustering": cluster_seconds,
-            "table_builder": table_seconds,
-            "cube_builder": time.perf_counter() - t0,
-        },
+        timings=timings,
+        graph_snapshot=graph_snapshot,
     )
 
 
 def run_bipartite(
     dataset: BoardsDataset,
     config: "PipelineConfig | None" = None,
+    graph_snapshot_path: "str | Path | None" = None,
 ) -> ScenarioResult:
     """Scenario 3: the full bipartite pipeline (companies projected over
-    shared directors, clustered into communities of connected companies)."""
+    shared directors, clustered into communities of connected companies).
+
+    When ``graph_snapshot_path`` is given, the projected company graph
+    and its clustering are persisted there as a graph snapshot.
+    """
     pipeline = SCubePipeline(config)
     result: PipelineResult = pipeline.run(dataset)
+    graph_snapshot = None
+    if graph_snapshot_path is not None:
+        t0 = time.perf_counter()
+        cfg = pipeline.config
+        graph_snapshot = _dump_scenario_graph(
+            result.projection, result.clustering, graph_snapshot_path,
+            provenance={
+                "scenario": "bipartite",
+                "projection": "groups",
+                "min_shared": cfg.projection.min_shared,
+                "max_degree": cfg.projection.max_degree,
+                "snapshot_date": cfg.snapshot_date,
+                "clustering_method": cfg.clustering.method,
+            },
+        )
+        result.timings["graph_snapshot"] = time.perf_counter() - t0
     return ScenarioResult(
         name="bipartite",
         cube=result.cube,
@@ -150,6 +225,7 @@ def run_bipartite(
         final_schema=result.final_schema,
         n_units=result.n_units,
         timings=result.timings,
+        graph_snapshot=graph_snapshot,
     )
 
 

@@ -26,6 +26,7 @@ from repro.data.synthetic import (
     checkerboard_table,
     planted_counts,
     planted_table,
+    random_bipartite_world,
     random_final_table,
     uniform_table,
     write_random_final_table_csv,
@@ -45,6 +46,7 @@ __all__ = [
     "italy_tabular_individuals",
     "planted_counts",
     "planted_table",
+    "random_bipartite_world",
     "random_final_table",
     "uniform_table",
     "vocab",

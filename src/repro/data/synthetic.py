@@ -246,6 +246,68 @@ def write_random_final_table_csv(
     )
 
 
+def random_bipartite_world(
+    n_left: int,
+    n_right: int,
+    mean_extra_degree: float = 1.2,
+    group_exponent: float = 1.1,
+    attributes: "dict[str, int] | None" = None,
+    attribute_skew: float = 0.5,
+    seed: int = 0,
+):
+    """A scalable individuals×groups membership world for graph workloads.
+
+    The shape mimics board-membership registries: every individual sits
+    on ``1 + Poisson(mean_extra_degree)`` boards, and board popularity is
+    power-law distributed (group ``r`` is drawn with probability
+    proportional to ``1 / (r+1)**group_exponent``), so a few boards are
+    huge hubs and most are tiny — the regime the projection's hub guard
+    and degree-bucketed pair enumeration are built for.  Groups carry
+    categorical attributes (``{name: cardinality}``, default
+    ``{"sector": 12, "region": 8}``) whose values are geometrically
+    skewed (value ``k`` with probability proportional to
+    ``attribute_skew ** k``), giving SToC meaningfully similar
+    neighbours.
+
+    Deterministic per ``seed``.  Returns ``(bipartite, attributes)``:
+    a :class:`~repro.graph.bipartite.BipartiteGraph` (duplicate draws
+    deduplicated) and a
+    :class:`~repro.graph.attributes.NodeAttributeTable` over the right
+    (group) nodes.  This is the world benchmark E22 and the graph
+    parity tests run on.
+    """
+    from repro.graph.attributes import NodeAttributeTable
+    from repro.graph.bipartite import BipartiteGraph
+
+    if n_left < 1 or n_right < 1:
+        raise ReproError("n_left and n_right must be positive")
+    if mean_extra_degree < 0:
+        raise ReproError("mean_extra_degree must be non-negative")
+    if not 0 < attribute_skew <= 1:
+        raise ReproError("attribute_skew must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    degrees = 1 + rng.poisson(mean_extra_degree, n_left)
+    np.clip(degrees, 1, n_right, out=degrees)
+    probs = 1.0 / np.arange(1, n_right + 1, dtype=float) ** group_exponent
+    probs /= probs.sum()
+    lefts = np.repeat(np.arange(n_left, dtype=np.int64), degrees)
+    rights = rng.choice(n_right, size=len(lefts), p=probs)
+    bipartite = BipartiteGraph.from_arrays(n_left, n_right, lefts, rights)
+
+    attributes = attributes if attributes is not None \
+        else {"sector": 12, "region": 8}
+    columns: "dict[str, list[str]]" = {}
+    for name, cardinality in attributes.items():
+        if cardinality < 1:
+            raise ReproError(f"attribute {name!r} needs cardinality >= 1")
+        weights = attribute_skew ** np.arange(cardinality, dtype=float)
+        weights /= weights.sum()
+        codes = rng.choice(cardinality, size=n_right, p=weights)
+        columns[name] = [f"{name}{k}" for k in codes]
+    table = NodeAttributeTable.from_columns(n_right, columns)
+    return bipartite, table
+
+
 def random_temporal_final_table(
     n_rows: int,
     n_units: int,

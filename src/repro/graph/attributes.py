@@ -28,6 +28,7 @@ class NodeAttributeTable:
         self.n_nodes = n_nodes
         self._columns: dict[str, np.ndarray] = {}
         self._categories: dict[str, list] = {}
+        self._matrix: "np.ndarray | None" = None
 
     @classmethod
     def from_columns(
@@ -58,6 +59,7 @@ class NodeAttributeTable:
             codes[k] = code
         self._columns[name] = codes
         self._categories[name] = categories
+        self._matrix = None
 
     @property
     def names(self) -> list[str]:
@@ -73,6 +75,21 @@ class NodeAttributeTable:
             return self._columns[name]
         except KeyError:
             raise GraphError(f"unknown attribute {name!r}") from None
+
+    def codes_matrix(self) -> np.ndarray:
+        """All code columns stacked as one ``(n_attributes, n_nodes)`` matrix.
+
+        Cached (invalidated by :meth:`add`); the batched access path the
+        vectorized SToC frontier uses for whole-level Hamming distances.
+        """
+        if self._matrix is None:
+            if self._columns:
+                matrix = np.vstack(list(self._columns.values()))
+            else:
+                matrix = np.empty((0, self.n_nodes), dtype=np.int32)
+            matrix.setflags(write=False)
+            self._matrix = matrix
+        return self._matrix
 
     def value(self, name: str, node: int) -> object:
         """Decoded value of ``name`` at ``node``."""

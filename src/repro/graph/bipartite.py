@@ -6,6 +6,28 @@ are groups and an edge connects two groups if they are related by at
 least one shared individual.  Edges are weighted by the number of shared
 individuals."  Isolated groups (zero projected degree) are reported
 separately, matching the module's ``isolated`` output.
+
+Since PR 8 the graph is CSR-backed on both sides (memberships stored as
+deduplicated ``(left, right)`` arrays, grouped vectorially), and the
+projection runs on arrays:
+
+* ``engine="grouped"`` (default) — enumerate co-membership pairs with a
+  degree-bucketed gather over the CSR rows, then count multiplicities
+  with one ``np.unique``: the weight of ``{g1, g2}`` is exactly the
+  number of individuals contributing the pair.
+* ``engine="cover"`` — the miner's kernel: pack each group's member set
+  into ``uint64`` bitmap words (``itemsets/coverset.py`` conventions)
+  and compute every candidate edge weight as a blocked word-wise AND +
+  popcount.  Bit-identical to ``grouped`` (property-tested and checked
+  by ``repro.graph.selfcheck``); supports ``workers=`` fan-out over
+  shared-memory covers reusing the ``cube/parallel.py`` pool pattern.
+* ``engine="auto"`` — ``cover`` when the packed cover matrix is small
+  enough to be worth building (and is required when ``workers`` is
+  set), else ``grouped``.
+
+Both engines honour the hub guard (``max_left_degree`` /
+``max_right_degree``): skipped hubs contribute to *no* pair weight, so
+the cover engine masks their bits out of every cover before popcounting.
 """
 
 from __future__ import annotations
@@ -13,30 +35,125 @@ from __future__ import annotations
 from collections.abc import Iterable
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import GraphError
 from repro.graph.graph import Graph
+from repro.itemsets.coverset import WORD_BITS, WORD_DTYPE
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+#: Byte budget for one blocked AND+popcount batch in the cover engine.
+_COVER_BLOCK_BYTES = 32 << 20
+#: ``engine="auto"`` refuses to build cover matrices larger than this.
+_AUTO_COVER_LIMIT_BYTES = 256 << 20
+
+
+def _readonly(array: np.ndarray) -> np.ndarray:
+    array.setflags(write=False)
+    return array
+
+
+def popcount_rows(words: np.ndarray) -> np.ndarray:
+    """Per-row popcount of a 2-D ``uint64`` word matrix."""
+    if hasattr(np, "bitwise_count"):
+        return np.bitwise_count(words).sum(axis=1, dtype=np.int64)
+    from repro.itemsets.coverset import _POPCOUNT_LUT
+
+    bytes_view = words.view(np.uint8).reshape(words.shape[0], -1)
+    return _POPCOUNT_LUT[bytes_view].sum(axis=1, dtype=np.int64)
+
+
+def pack_member_covers(
+    indptr: np.ndarray, indices: np.ndarray, n_bits: int
+) -> np.ndarray:
+    """Pack CSR rows into a ``(n_rows, ceil(n_bits/64))`` bitmap matrix.
+
+    Row ``r``'s cover has bit ``i`` set iff ``i`` appears in the CSR row
+    — the same little-endian word layout as ``CoverSet``.
+    """
+    n_rows = len(indptr) - 1
+    n_words = (n_bits + WORD_BITS - 1) // WORD_BITS
+    covers = np.zeros((n_rows, n_words), dtype=WORD_DTYPE)
+    if len(indices):
+        rows = np.repeat(np.arange(n_rows), np.diff(indptr))
+        bits = indices.astype(np.uint64)
+        np.bitwise_or.at(
+            covers,
+            (rows, (bits // WORD_BITS).astype(np.int64)),
+            np.left_shift(np.uint64(1), bits % np.uint64(WORD_BITS)),
+        )
+    return covers
 
 
 class BipartiteGraph:
-    """A bipartite graph between ``n_left`` individuals and ``n_right`` groups."""
+    """A bipartite graph between ``n_left`` individuals and ``n_right`` groups.
+
+    Memberships are stored as deduplicated ``(left, right)`` int64 arrays
+    with CSR views for both sides, built by vectorized grouping.  Scalar
+    ``add_edge`` inserts buffer up and are merged on the next read.
+    """
 
     def __init__(self, n_left: int, n_right: int):
         if n_left < 0 or n_right < 0:
             raise GraphError("side sizes must be non-negative")
-        self.n_left = n_left
-        self.n_right = n_right
-        self._left_adj: list[set[int]] = [set() for _ in range(n_left)]
-        self._right_adj: list[set[int]] = [set() for _ in range(n_right)]
+        self.n_left = int(n_left)
+        self.n_right = int(n_right)
+        self._el = _readonly(_EMPTY_I64.copy())
+        self._er = _readonly(_EMPTY_I64.copy())
+        self._pending: "list[tuple[int, int]]" = []
+        self._csr: "tuple[np.ndarray, ...] | None" = None
 
     @classmethod
     def from_edges(
         cls, n_left: int, n_right: int, edges: Iterable[tuple[int, int]]
     ) -> "BipartiteGraph":
-        """Build from ``(left, right)`` membership pairs (duplicates merged)."""
+        """Build from ``(left, right)`` membership pairs (duplicates merged).
+
+        Compatibility constructor; :meth:`from_arrays` is the fast path.
+        """
+        pairs = np.asarray(list(edges), dtype=np.int64)
+        if pairs.size == 0:
+            return cls(n_left, n_right)
+        return cls.from_arrays(n_left, n_right, pairs[:, 0], pairs[:, 1])
+
+    @classmethod
+    def from_arrays(
+        cls, n_left: int, n_right: int,
+        lefts: np.ndarray, rights: np.ndarray,
+    ) -> "BipartiteGraph":
+        """Vectorized constructor from parallel membership arrays."""
         graph = cls(n_left, n_right)
-        for left, right in edges:
-            graph.add_edge(left, right)
+        lefts = np.asarray(lefts, dtype=np.int64).ravel()
+        rights = np.asarray(rights, dtype=np.int64).ravel()
+        if lefts.shape != rights.shape:
+            raise GraphError("membership arrays must have equal length")
+        if lefts.size:
+            if int(lefts.min()) < 0 or int(lefts.max()) >= n_left:
+                bad = int(lefts.min()) if int(lefts.min()) < 0 \
+                    else int(lefts.max())
+                raise GraphError(
+                    f"left node {bad} out of range [0, {n_left})"
+                )
+            if int(rights.min()) < 0 or int(rights.max()) >= n_right:
+                bad = int(rights.min()) if int(rights.min()) < 0 \
+                    else int(rights.max())
+                raise GraphError(
+                    f"right node {bad} out of range [0, {n_right})"
+                )
+            graph._el, graph._er = graph._dedupe(lefts, rights)
         return graph
+
+    def _dedupe(
+        self, lefts: np.ndarray, rights: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Sort by ``(left, right)`` and drop duplicate memberships."""
+        key = lefts * np.int64(max(self.n_right, 1)) + rights
+        uniq = np.unique(key)
+        return (
+            _readonly(uniq // max(self.n_right, 1)),
+            _readonly(uniq % max(self.n_right, 1)),
+        )
 
     def add_edge(self, left: int, right: int) -> None:
         """Connect individual ``left`` with group ``right`` (idempotent)."""
@@ -46,26 +163,80 @@ class BipartiteGraph:
             raise GraphError(
                 f"right node {right} out of range [0, {self.n_right})"
             )
-        self._left_adj[left].add(right)
-        self._right_adj[right].add(left)
+        self._pending.append((int(left), int(right)))
+        self._csr = None
+
+    def _commit(self) -> None:
+        if not self._pending:
+            return
+        pend = np.asarray(self._pending, dtype=np.int64)
+        self._pending.clear()
+        self._el, self._er = self._dedupe(
+            np.concatenate([self._el, pend[:, 0]]),
+            np.concatenate([self._er, pend[:, 1]]),
+        )
+
+    def _ensure_csr(self) -> "tuple[np.ndarray, ...]":
+        """Both-side CSR: ``(l_indptr, l_indices, r_indptr, r_indices)``."""
+        self._commit()
+        if self._csr is None:
+            l_indptr = np.zeros(self.n_left + 1, dtype=np.int64)
+            np.cumsum(
+                np.bincount(self._el, minlength=self.n_left),
+                out=l_indptr[1:],
+            )
+            # committed arrays are sorted by (left, right) already
+            l_indices = self._er
+            order = np.lexsort((self._el, self._er))
+            r_indptr = np.zeros(self.n_right + 1, dtype=np.int64)
+            np.cumsum(
+                np.bincount(self._er, minlength=self.n_right),
+                out=r_indptr[1:],
+            )
+            r_indices = _readonly(self._el[order])
+            self._csr = (l_indptr, l_indices, r_indptr, r_indices)
+        return self._csr
+
+    def membership_arrays(self) -> "tuple[np.ndarray, np.ndarray]":
+        """Read-only deduplicated ``(lefts, rights)`` arrays."""
+        self._commit()
+        return self._el, self._er
 
     @property
     def n_edges(self) -> int:
-        return sum(len(s) for s in self._left_adj)
+        """Number of distinct memberships (O(1) on committed arrays)."""
+        self._commit()
+        return int(self._el.size)
 
-    def groups_of(self, left: int) -> set[int]:
-        """Groups the individual belongs to."""
-        return set(self._left_adj[left])
+    def groups_of(self, left: int) -> np.ndarray:
+        """Groups the individual belongs to (sorted read-only view)."""
+        if not 0 <= left < self.n_left:
+            raise GraphError(f"left node {left} out of range [0, {self.n_left})")
+        l_indptr, l_indices, _, _ = self._ensure_csr()
+        return l_indices[int(l_indptr[left]):int(l_indptr[left + 1])]
 
-    def members_of(self, right: int) -> set[int]:
-        """Individuals belonging to the group."""
-        return set(self._right_adj[right])
+    def members_of(self, right: int) -> np.ndarray:
+        """Individuals belonging to the group (sorted read-only view)."""
+        if not 0 <= right < self.n_right:
+            raise GraphError(
+                f"right node {right} out of range [0, {self.n_right})"
+            )
+        _, _, r_indptr, r_indices = self._ensure_csr()
+        return r_indices[int(r_indptr[right]):int(r_indptr[right + 1])]
 
-    def left_degrees(self) -> list[int]:
-        return [len(s) for s in self._left_adj]
+    def left_degrees(self) -> np.ndarray:
+        """Membership count per individual (read-only array view)."""
+        return _readonly(np.diff(self._ensure_csr()[0]))
 
-    def right_degrees(self) -> list[int]:
-        return [len(s) for s in self._right_adj]
+    def right_degrees(self) -> np.ndarray:
+        """Member count per group (read-only array view)."""
+        return _readonly(np.diff(self._ensure_csr()[2]))
+
+    def __repr__(self) -> str:
+        return (
+            f"BipartiteGraph(n_left={self.n_left}, n_right={self.n_right}, "
+            f"n_edges={self.n_edges})"
+        )
 
 
 @dataclass
@@ -79,10 +250,162 @@ class ProjectionResult:
     skipped_hubs: list[int]
 
 
+def _enumerate_pairs(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    max_degree: "int | None",
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    """All co-membership pairs ``(a, b)`` with ``a < b``, with multiplicity.
+
+    Sources are bucketed by degree so each bucket becomes one dense
+    ``(m, d)`` gather + ``triu_indices`` combination — no Python-level
+    per-source loop.  Returns ``(a, b, skipped_sources)``.
+    """
+    degrees = np.diff(indptr)
+    if max_degree is not None:
+        skipped = np.flatnonzero(degrees > max_degree)
+    else:
+        skipped = _EMPTY_I64
+    out_a: "list[np.ndarray]" = []
+    out_b: "list[np.ndarray]" = []
+    for d in np.unique(degrees):
+        d = int(d)
+        if d < 2 or (max_degree is not None and d > max_degree):
+            continue
+        sources = np.flatnonzero(degrees == d)
+        gather = indptr[sources][:, None] + np.arange(d)[None, :]
+        rows = indices[gather]  # (m, d); rows sorted (CSR invariant)
+        iu, ju = np.triu_indices(d, k=1)
+        out_a.append(rows[:, iu].ravel())
+        out_b.append(rows[:, ju].ravel())
+    if not out_a:
+        return _EMPTY_I64, _EMPTY_I64, skipped
+    return np.concatenate(out_a), np.concatenate(out_b), skipped
+
+
+def _count_pairs_grouped(
+    a: np.ndarray, b: np.ndarray, n_nodes: int
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    """Unique pairs + multiplicities via one sort: ``(u, v, counts)``."""
+    key = a * np.int64(n_nodes) + b
+    uniq, counts = np.unique(key, return_counts=True)
+    return uniq // n_nodes, uniq % n_nodes, counts
+
+
+def _count_pairs_cover(
+    a: np.ndarray,
+    b: np.ndarray,
+    n_nodes: int,
+    covers: np.ndarray,
+    workers: "int | None",
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    """Unique pairs weighted by cover intersection popcounts.
+
+    ``covers[g]`` is the packed member bitmap of node ``g`` (hub bits
+    already masked out); the weight of ``{u, v}`` is
+    ``popcount(covers[u] & covers[v])`` — computed in blocks bounded by
+    ``_COVER_BLOCK_BYTES``, optionally fanned out across ``workers``
+    processes over shared memory.
+    """
+    key = a * np.int64(n_nodes) + b
+    uniq = np.unique(key)
+    u = uniq // n_nodes
+    v = uniq % n_nodes
+    if workers is not None and workers > 1 and len(uniq):
+        from repro.graph.parallel import cover_pair_counts_parallel
+
+        counts = cover_pair_counts_parallel(covers, u, v, workers)
+    else:
+        counts = cover_pair_counts(covers, u, v)
+    return u, v, counts
+
+
+def cover_pair_counts(
+    covers: np.ndarray, u: np.ndarray, v: np.ndarray
+) -> np.ndarray:
+    """Blocked AND+popcount of cover rows ``u`` against rows ``v``."""
+    n_words = max(covers.shape[1], 1)
+    block = max(1, _COVER_BLOCK_BYTES // (n_words * 8 * 2))
+    counts = np.empty(len(u), dtype=np.int64)
+    for start in range(0, len(u), block):
+        stop = min(start + block, len(u))
+        shared = covers[u[start:stop]] & covers[v[start:stop]]
+        counts[start:stop] = popcount_rows(shared)
+    return counts
+
+
+def _project(
+    bipartite: BipartiteGraph,
+    side: str,
+    min_shared: int,
+    max_degree: "int | None",
+    engine: str,
+    workers: "int | None",
+) -> ProjectionResult:
+    """Shared projection core; ``side`` picks the node side kept."""
+    if min_shared < 1:
+        raise GraphError("min_shared must be >= 1")
+    if engine not in ("auto", "grouped", "cover"):
+        raise GraphError(
+            f"unknown projection engine {engine!r} "
+            "(choose 'auto', 'grouped' or 'cover')"
+        )
+    l_indptr, l_indices, r_indptr, r_indices = bipartite._ensure_csr()
+    if side == "groups":
+        # sources = individuals; pairs/covers live on the group side
+        src_indptr, src_indices = l_indptr, l_indices
+        node_indptr, node_indices = r_indptr, r_indices
+        n_nodes, n_sources = bipartite.n_right, bipartite.n_left
+    else:
+        src_indptr, src_indices = r_indptr, r_indices
+        node_indptr, node_indices = l_indptr, l_indices
+        n_nodes, n_sources = bipartite.n_left, bipartite.n_right
+
+    a, b, skipped = _enumerate_pairs(src_indptr, src_indices, max_degree)
+
+    if engine == "auto":
+        n_words = (n_sources + WORD_BITS - 1) // WORD_BITS
+        matrix_bytes = n_nodes * n_words * 8
+        engine = (
+            "cover"
+            if workers is not None and workers > 1
+            and matrix_bytes <= _AUTO_COVER_LIMIT_BYTES
+            else "grouped"
+        )
+
+    if engine == "grouped" or len(a) == 0:
+        u, v, counts = _count_pairs_grouped(a, b, max(n_nodes, 1))
+    else:
+        covers = pack_member_covers(node_indptr, node_indices, n_sources)
+        if len(skipped):
+            # a skipped hub must contribute to no pair weight: clear its
+            # bit from every node cover before popcounting
+            mask = np.bitwise_not(
+                pack_member_covers(
+                    np.array([0, len(skipped)], dtype=np.int64),
+                    skipped,
+                    n_sources,
+                )[0]
+            )
+            covers &= mask[None, :]
+        u, v, counts = _count_pairs_cover(
+            a, b, max(n_nodes, 1), covers, workers
+        )
+
+    keep = counts >= min_shared
+    graph = Graph.from_edge_arrays(
+        n_nodes, u[keep], v[keep], counts[keep].astype(np.float64)
+    )
+    isolated = graph.isolated_nodes()
+    return ProjectionResult(graph, isolated, [int(s) for s in skipped])
+
+
 def project_onto_groups(
     bipartite: BipartiteGraph,
     min_shared: int = 1,
     max_left_degree: "int | None" = None,
+    engine: str = "auto",
+    workers: "int | None" = None,
 ) -> ProjectionResult:
     """Project onto the group side: edge weight = number of shared individuals.
 
@@ -97,58 +420,35 @@ def project_onto_groups(
         d*(d-1)/2 pairs; real board data has a handful of extreme
         multi-directors that would blow up the projection).  ``None``
         disables the guard.
+    engine:
+        ``"grouped"`` (sort-count), ``"cover"`` (packed AND+popcount) or
+        ``"auto"``.  All engines produce identical edges and weights.
+    workers:
+        Fan the cover engine's popcount blocks across this many
+        processes (shared-memory covers); ignored by ``"grouped"``.
 
-    Complexity: sum over individuals of (degree choose 2).
+    Complexity: sum over individuals of (degree choose 2) pair slots.
     """
-    if min_shared < 1:
-        raise GraphError("min_shared must be >= 1")
-    weights: dict[tuple[int, int], int] = {}
-    skipped: list[int] = []
-    for left in range(bipartite.n_left):
-        groups = bipartite._left_adj[left]
-        if max_left_degree is not None and len(groups) > max_left_degree:
-            skipped.append(left)
-            continue
-        ordered = sorted(groups)
-        for i, g1 in enumerate(ordered):
-            for g2 in ordered[i + 1:]:
-                key = (g1, g2)
-                weights[key] = weights.get(key, 0) + 1
-    graph = Graph(bipartite.n_right)
-    for (g1, g2), shared in weights.items():
-        if shared >= min_shared:
-            graph.add_edge(g1, g2, float(shared))
-    isolated = graph.isolated_nodes()
-    return ProjectionResult(graph, isolated, skipped)
+    return _project(
+        bipartite, "groups", min_shared, max_left_degree, engine, workers
+    )
 
 
 def project_onto_individuals(
     bipartite: BipartiteGraph,
     min_shared: int = 1,
     max_right_degree: "int | None" = None,
+    engine: str = "auto",
+    workers: "int | None" = None,
 ) -> ProjectionResult:
     """Project onto the individual side (paper §4, scenario 2).
 
     Nodes are individuals; an edge connects two directors who sit on at
     least one common board, weighted by the number of shared groups.
+    Accepts the same ``engine`` / ``workers`` knobs as
+    :func:`project_onto_groups`.
     """
-    if min_shared < 1:
-        raise GraphError("min_shared must be >= 1")
-    weights: dict[tuple[int, int], int] = {}
-    skipped: list[int] = []
-    for right in range(bipartite.n_right):
-        members = bipartite._right_adj[right]
-        if max_right_degree is not None and len(members) > max_right_degree:
-            skipped.append(right)
-            continue
-        ordered = sorted(members)
-        for i, d1 in enumerate(ordered):
-            for d2 in ordered[i + 1:]:
-                key = (d1, d2)
-                weights[key] = weights.get(key, 0) + 1
-    graph = Graph(bipartite.n_left)
-    for (d1, d2), shared in weights.items():
-        if shared >= min_shared:
-            graph.add_edge(d1, d2, float(shared))
-    isolated = graph.isolated_nodes()
-    return ProjectionResult(graph, isolated, skipped)
+    return _project(
+        bipartite, "individuals", min_shared, max_right_degree, engine,
+        workers,
+    )

@@ -1,10 +1,18 @@
-"""Weighted undirected graphs.
+"""Weighted undirected graphs on edge arrays + CSR.
 
 The GraphBuilder and GraphClustering modules of SCube operate on the
 unipartite projection of the individuals×groups bipartite graph: nodes
-are groups (companies), edge weights count shared individuals (directors).
-This module provides the storage layer — a mutable adjacency-map builder
-that freezes into CSR arrays for traversal-heavy algorithms.
+are groups (companies), edge weights count shared individuals
+(directors).  Since PR 8 the storage layer is array-native: edges live
+in three parallel NumPy arrays ``(u, v, w)`` with ``u < v``, deduplicated
+and sorted by ``(u, v)``, from which a cached CSR view
+``(indptr, indices, weights)`` is derived for traversal-heavy
+algorithms.  The mutable builder API (``add_edge`` and friends) is
+unchanged from the seed implementation — scalar inserts land in a
+pending buffer that is merged vectorially on the next read — so callers
+written against the dict-adjacency version keep working, while the hot
+paths (projection, components, SToC, threshold sweeps, metrics) consume
+``edge_arrays()`` / ``csr()`` wholesale.
 """
 
 from __future__ import annotations
@@ -16,6 +24,35 @@ import numpy as np
 from repro.errors import GraphError
 
 
+def _readonly(array: np.ndarray) -> np.ndarray:
+    array.setflags(write=False)
+    return array
+
+
+def _accumulate_edges(
+    n_nodes: int, u: np.ndarray, v: np.ndarray, w: np.ndarray
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    """Deduplicate ``u < v`` edge arrays, summing parallel-edge weights.
+
+    Returns arrays sorted by ``(u, v)``; the key fits int64 for any node
+    count a single machine can hold (n_nodes² < 2**63).
+    """
+    if u.size == 0:
+        return (
+            _readonly(np.empty(0, dtype=np.int64)),
+            _readonly(np.empty(0, dtype=np.int64)),
+            _readonly(np.empty(0, dtype=np.float64)),
+        )
+    key = u * np.int64(n_nodes) + v
+    uniq, inverse = np.unique(key, return_inverse=True)
+    acc = np.bincount(inverse, weights=w, minlength=len(uniq))
+    return (
+        _readonly(uniq // n_nodes),
+        _readonly(uniq % n_nodes),
+        _readonly(acc.astype(np.float64, copy=False)),
+    )
+
+
 class Graph:
     """A weighted undirected graph over nodes ``0 .. n_nodes-1``.
 
@@ -25,9 +62,12 @@ class Graph:
     def __init__(self, n_nodes: int):
         if n_nodes < 0:
             raise GraphError("n_nodes must be non-negative")
-        self.n_nodes = n_nodes
-        self._adj: list[dict[int, float]] = [dict() for _ in range(n_nodes)]
-        self._csr: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self.n_nodes = int(n_nodes)
+        self._eu = _readonly(np.empty(0, dtype=np.int64))
+        self._ev = _readonly(np.empty(0, dtype=np.int64))
+        self._ew = _readonly(np.empty(0, dtype=np.float64))
+        self._pending: "list[tuple[int, int, float]]" = []
+        self._csr: "tuple[np.ndarray, np.ndarray, np.ndarray] | None" = None
 
     @classmethod
     def from_edges(
@@ -37,6 +77,44 @@ class Graph:
         graph = cls(n_nodes)
         for u, v, w in edges:
             graph.add_edge(u, v, w)
+        return graph
+
+    @classmethod
+    def from_edge_arrays(
+        cls,
+        n_nodes: int,
+        u: np.ndarray,
+        v: np.ndarray,
+        weights: np.ndarray,
+    ) -> "Graph":
+        """Vectorized constructor from parallel edge arrays.
+
+        Endpoints may come in either order; duplicates accumulate weight
+        exactly like repeated :meth:`add_edge` calls.
+        """
+        graph = cls(n_nodes)
+        u = np.asarray(u, dtype=np.int64).ravel()
+        v = np.asarray(v, dtype=np.int64).ravel()
+        w = np.asarray(weights, dtype=np.float64).ravel()
+        if not (u.shape == v.shape == w.shape):
+            raise GraphError("edge arrays must have equal length")
+        if u.size:
+            low = min(int(u.min()), int(v.min()))
+            high = max(int(u.max()), int(v.max()))
+            if low < 0 or high >= n_nodes:
+                bad = low if low < 0 else high
+                raise GraphError(f"node {bad} out of range [0, {n_nodes})")
+            loops = u == v
+            if loops.any():
+                node = int(u[np.argmax(loops)])
+                raise GraphError(f"self-loop on node {node} not allowed")
+            nonpos = w <= 0
+            if nonpos.any():
+                value = w[np.argmax(nonpos)]
+                raise GraphError(f"edge weight must be positive, got {value}")
+        graph._eu, graph._ev, graph._ew = _accumulate_edges(
+            n_nodes, np.minimum(u, v), np.maximum(u, v), w
+        )
         return graph
 
     def _check_node(self, u: int) -> None:
@@ -51,96 +129,165 @@ class Graph:
             raise GraphError(f"self-loop on node {u} not allowed")
         if weight <= 0:
             raise GraphError(f"edge weight must be positive, got {weight}")
-        self._adj[u][v] = self._adj[u].get(v, 0.0) + weight
-        self._adj[v][u] = self._adj[v].get(u, 0.0) + weight
+        if u > v:
+            u, v = v, u
+        self._pending.append((int(u), int(v), float(weight)))
         self._csr = None
+
+    def _commit(self) -> None:
+        """Fold pending scalar inserts into the committed edge arrays."""
+        if not self._pending:
+            return
+        pend = np.asarray(self._pending, dtype=np.float64).reshape(-1, 3)
+        u = np.concatenate([self._eu, pend[:, 0].astype(np.int64)])
+        v = np.concatenate([self._ev, pend[:, 1].astype(np.int64)])
+        w = np.concatenate([self._ew, pend[:, 2]])
+        self._pending.clear()
+        self._eu, self._ev, self._ew = _accumulate_edges(
+            self.n_nodes, u, v, w
+        )
+
+    def edge_arrays(self) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """Read-only ``(u, v, w)`` arrays, ``u < v``, sorted by ``(u, v)``.
+
+        This is the bulk access path every vectorized algorithm uses.
+        """
+        self._commit()
+        return self._eu, self._ev, self._ew
+
+    def csr(self) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """Frozen CSR view ``(indptr, indices, weights)`` (cached).
+
+        Neighbour lists are sorted by node id, both edge directions
+        present.
+        """
+        self._commit()
+        if self._csr is None:
+            src = np.concatenate([self._eu, self._ev])
+            dst = np.concatenate([self._ev, self._eu])
+            wt = np.concatenate([self._ew, self._ew])
+            order = np.lexsort((dst, src))
+            indptr = np.zeros(self.n_nodes + 1, dtype=np.int64)
+            counts = np.bincount(src, minlength=self.n_nodes)
+            np.cumsum(counts, out=indptr[1:])
+            self._csr = (
+                _readonly(indptr),
+                _readonly(dst[order]),
+                _readonly(wt[order]),
+            )
+        return self._csr
+
+    def _row(self, u: int) -> "tuple[np.ndarray, np.ndarray]":
+        indptr, indices, weights = self.csr()
+        lo, hi = int(indptr[u]), int(indptr[u + 1])
+        return indices[lo:hi], weights[lo:hi]
 
     def has_edge(self, u: int, v: int) -> bool:
         """True when the undirected edge ``{u, v}`` exists."""
-        self._check_node(u)
-        self._check_node(v)
-        return v in self._adj[u]
+        return self.weight(u, v) != 0.0
 
     def weight(self, u: int, v: int) -> float:
         """Weight of edge ``{u, v}`` (0.0 when absent)."""
         self._check_node(u)
         self._check_node(v)
-        return self._adj[u].get(v, 0.0)
+        row, weights = self._row(u)
+        k = int(np.searchsorted(row, v))
+        if k < len(row) and row[k] == v:
+            return float(weights[k])
+        return 0.0
 
     def neighbors(self, u: int) -> Iterator[int]:
-        """Iterate the neighbours of ``u``."""
+        """Iterate the neighbours of ``u`` (sorted by node id)."""
         self._check_node(u)
-        return iter(self._adj[u])
+        return map(int, self._row(u)[0])
 
     def neighbor_weights(self, u: int) -> Iterator[tuple[int, float]]:
         """Iterate ``(neighbour, weight)`` pairs of ``u``."""
         self._check_node(u)
-        return iter(self._adj[u].items())
+        row, weights = self._row(u)
+        return zip(map(int, row), map(float, weights))
 
     def degree(self, u: int) -> int:
         """Number of neighbours of ``u``."""
         self._check_node(u)
-        return len(self._adj[u])
+        indptr = self.csr()[0]
+        return int(indptr[u + 1] - indptr[u])
+
+    def degrees(self) -> np.ndarray:
+        """Degree of every node as a read-only int64 array."""
+        return _readonly(np.diff(self.csr()[0]))
 
     def weighted_degree(self, u: int) -> float:
         """Sum of incident edge weights of ``u``."""
         self._check_node(u)
-        return float(sum(self._adj[u].values()))
+        return float(self._row(u)[1].sum())
+
+    def weighted_degrees(self) -> np.ndarray:
+        """Weighted degree of every node (one vectorized pass)."""
+        u, v, w = self.edge_arrays()
+        out = np.bincount(u, weights=w, minlength=self.n_nodes)
+        out += np.bincount(v, weights=w, minlength=self.n_nodes)
+        return _readonly(out)
 
     @property
     def n_edges(self) -> int:
-        """Number of undirected edges."""
-        return sum(len(a) for a in self._adj) // 2
+        """Number of undirected edges (O(1) on committed arrays)."""
+        self._commit()
+        return int(self._eu.size)
 
     def total_weight(self) -> float:
         """Sum of edge weights (each undirected edge counted once)."""
-        return sum(sum(a.values()) for a in self._adj) / 2.0
+        self._commit()
+        return float(self._ew.sum())
 
     def edges(self) -> Iterator[tuple[int, int, float]]:
-        """Iterate undirected edges once, as ``(u, v, w)`` with ``u < v``."""
-        for u, adjacency in enumerate(self._adj):
-            for v, w in adjacency.items():
-                if u < v:
-                    yield (u, v, w)
+        """Iterate undirected edges once, as ``(u, v, w)`` with ``u < v``.
+
+        Edges come out sorted by ``(u, v)`` (the committed array order).
+        """
+        u, v, w = self.edge_arrays()
+        return zip(map(int, u), map(int, v), map(float, w))
 
     def isolated_nodes(self) -> list[int]:
         """Nodes with no incident edge."""
-        return [u for u, adjacency in enumerate(self._adj) if not adjacency]
+        u, v, _ = self.edge_arrays()
+        touched = np.bincount(
+            np.concatenate([u, v]), minlength=self.n_nodes
+        )
+        return [int(x) for x in np.flatnonzero(touched == 0)]
 
-    def csr(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Frozen CSR view ``(indptr, indices, weights)`` (cached)."""
-        if self._csr is None:
-            degrees = np.fromiter(
-                (len(a) for a in self._adj), dtype=np.int64, count=self.n_nodes
-            )
-            indptr = np.zeros(self.n_nodes + 1, dtype=np.int64)
-            np.cumsum(degrees, out=indptr[1:])
-            indices = np.empty(int(indptr[-1]), dtype=np.int64)
-            weights = np.empty(int(indptr[-1]), dtype=np.float64)
-            for u, adjacency in enumerate(self._adj):
-                start = int(indptr[u])
-                for k, (v, w) in enumerate(sorted(adjacency.items())):
-                    indices[start + k] = v
-                    weights[start + k] = w
-            self._csr = (indptr, indices, weights)
-        return self._csr
+    def subgraph_by_mask(self, keep: np.ndarray) -> "Graph":
+        """A new graph keeping the edges where boolean ``keep`` is True.
+
+        ``keep`` aligns with :meth:`edge_arrays` order.
+        """
+        u, v, w = self.edge_arrays()
+        keep = np.asarray(keep, dtype=bool).ravel()
+        if keep.shape != u.shape:
+            raise GraphError("edge mask length does not match n_edges")
+        out = Graph(self.n_nodes)
+        out._eu = _readonly(u[keep])
+        out._ev = _readonly(v[keep])
+        out._ew = _readonly(w[keep])
+        return out
 
     def subgraph_by_edges(
         self, keep: "callable[[int, int, float], bool]"
     ) -> "Graph":
         """A new graph with the same nodes, keeping edges where ``keep`` holds."""
-        out = Graph(self.n_nodes)
-        for u, v, w in self.edges():
-            if keep(u, v, w):
-                out.add_edge(u, v, w)
-        return out
+        u, v, w = self.edge_arrays()
+        mask = np.fromiter(
+            (bool(keep(int(a), int(b), float(c)))
+             for a, b, c in zip(u, v, w)),
+            dtype=bool, count=len(u),
+        )
+        return self.subgraph_by_mask(mask)
 
     def weight_histogram(self) -> dict[float, int]:
         """Edge count per distinct weight (for projection diagnostics)."""
-        hist: dict[float, int] = {}
-        for _, _, w in self.edges():
-            hist[w] = hist.get(w, 0) + 1
-        return hist
+        self._commit()
+        values, counts = np.unique(self._ew, return_counts=True)
+        return {float(w): int(c) for w, c in zip(values, counts)}
 
     def __repr__(self) -> str:
         return f"Graph(n_nodes={self.n_nodes}, n_edges={self.n_edges})"

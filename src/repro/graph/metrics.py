@@ -27,13 +27,12 @@ def modularity(graph: Graph, clustering: Clustering) -> float:
     if total == 0:
         return 0.0
     labels = clustering.labels
-    intra = 0.0
-    for u, v, w in graph.edges():
-        if labels[u] == labels[v]:
-            intra += w
-    degree_sums = np.zeros(clustering.n_clusters, dtype=np.float64)
-    for u in range(graph.n_nodes):
-        degree_sums[labels[u]] += graph.weighted_degree(u)
+    u, v, w = graph.edge_arrays()
+    intra = float(w[labels[u] == labels[v]].sum())
+    degree_sums = np.bincount(
+        labels, weights=graph.weighted_degrees(),
+        minlength=clustering.n_clusters,
+    )
     expected = float((degree_sums ** 2).sum()) / (4.0 * total * total)
     return intra / total - expected
 
@@ -47,17 +46,15 @@ def conductance_all(graph: Graph, clustering: Clustering) -> np.ndarray:
     """
     labels = clustering.labels
     k = clustering.n_clusters
-    cut = np.zeros(k, dtype=np.float64)
-    volume = np.zeros(k, dtype=np.float64)
-    for u, v, w in graph.edges():
-        cu, cv = labels[u], labels[v]
-        if cu == cv:
-            volume[cu] += 2 * w
-        else:
-            cut[cu] += w
-            cut[cv] += w
-            volume[cu] += w
-            volume[cv] += w
+    u, v, w = graph.edge_arrays()
+    cu, cv = labels[u], labels[v]
+    crossing = cu != cv
+    cut = np.bincount(cu[crossing], weights=w[crossing], minlength=k)
+    cut += np.bincount(cv[crossing], weights=w[crossing], minlength=k)
+    # volume counts every edge endpoint: intra edges twice in their own
+    # cluster, crossing edges once on each side
+    volume = np.bincount(cu, weights=w, minlength=k).astype(np.float64)
+    volume += np.bincount(cv, weights=w, minlength=k)
     total_volume = 2 * graph.total_weight()
     out = np.full(k, float("nan"))
     denom = np.minimum(volume, total_volume - volume)

@@ -1,0 +1,137 @@
+"""Multiprocess fan-out for the cover projection engine.
+
+The cover engine's inner kernel — popcount of the word-wise AND of two
+packed member covers per candidate edge — is embarrassingly parallel
+across edges.  This module partitions the candidate pair array into
+contiguous ranges and maps them over a ``multiprocessing`` pool, reusing
+the ``cube/parallel.py`` pattern:
+
+* the ``(n_nodes, n_words)`` cover matrix and the pair endpoint arrays
+  are written **once** into :mod:`multiprocessing.shared_memory`
+  segments — workers map them read-only instead of receiving pickled
+  copies;
+* each worker runs the exact single-process kernel
+  (:func:`repro.graph.bipartite.cover_pair_counts`) over its range, so
+  the parallel counts are bit-identical to the serial ones;
+* the parent closes **and** unlinks the segments in one ``finally`` —
+  the single point of cleanup (worker attaches re-register with the
+  shared resource tracker, which has set semantics).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.itemsets.coverset import WORD_DTYPE
+
+
+def resolve_workers(workers: "int | None") -> int:
+    """Effective worker count: ``workers`` or one per CPU, at least 1."""
+    if workers is None:
+        return max(1, os.cpu_count() or 1)
+    return max(1, int(workers))
+
+
+def _mp_context():
+    """Fork when available (cheapest on Linux), else spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+#: Per-process configuration, set once by the pool initializer.
+_WORKER_CFG: "dict | None" = None
+
+
+def _init_worker(cfg: dict) -> None:
+    global _WORKER_CFG
+    _WORKER_CFG = cfg
+
+
+def _count_range(bounds: "tuple[int, int]") -> "tuple[int, np.ndarray]":
+    """Pool task: popcount the candidate pairs in ``[start, stop)``."""
+    from repro.graph.bipartite import cover_pair_counts
+
+    cfg = _WORKER_CFG
+    start, stop = bounds
+    shm_covers = shared_memory.SharedMemory(name=cfg["covers_shm"])
+    shm_pairs = shared_memory.SharedMemory(name=cfg["pairs_shm"])
+    try:
+        covers = np.ndarray(
+            (cfg["n_nodes"], cfg["n_words"]), dtype=WORD_DTYPE,
+            buffer=shm_covers.buf,
+        )
+        pairs = np.ndarray(
+            (2, cfg["n_pairs"]), dtype=np.int64, buffer=shm_pairs.buf
+        )
+        # Slicing copies out of shared memory, so no view survives the
+        # close() below (a live export would raise BufferError).
+        counts = cover_pair_counts(
+            covers, pairs[0, start:stop].copy(), pairs[1, start:stop].copy()
+        )
+        return start, counts
+    finally:
+        shm_covers.close()
+        shm_pairs.close()
+
+
+def cover_pair_counts_parallel(
+    covers: np.ndarray,
+    u: np.ndarray,
+    v: np.ndarray,
+    workers: "int | None",
+) -> np.ndarray:
+    """Popcount ``covers[u] & covers[v]`` across a worker pool.
+
+    Bit-identical to :func:`repro.graph.bipartite.cover_pair_counts`
+    (each worker runs that very kernel on its contiguous pair range).
+    """
+    n_pairs = len(u)
+    n_parts = min(resolve_workers(workers), max(1, n_pairs))
+    covers = np.ascontiguousarray(covers, dtype=WORD_DTYPE)
+    pairs = np.ascontiguousarray(np.stack([u, v]), dtype=np.int64)
+    shm_covers = shared_memory.SharedMemory(
+        create=True, size=max(1, covers.nbytes)
+    )
+    shm_pairs = shared_memory.SharedMemory(
+        create=True, size=max(1, pairs.nbytes)
+    )
+    try:
+        np.ndarray(covers.shape, WORD_DTYPE, buffer=shm_covers.buf)[:] = \
+            covers
+        np.ndarray(pairs.shape, np.int64, buffer=shm_pairs.buf)[:] = pairs
+        cfg = {
+            "covers_shm": shm_covers.name,
+            "pairs_shm": shm_pairs.name,
+            "n_nodes": covers.shape[0],
+            "n_words": covers.shape[1],
+            "n_pairs": n_pairs,
+        }
+        bounds = [
+            (int(lo), int(hi))
+            for lo, hi in zip(
+                np.linspace(0, n_pairs, n_parts + 1).astype(np.int64)[:-1],
+                np.linspace(0, n_pairs, n_parts + 1).astype(np.int64)[1:],
+            )
+            if hi > lo
+        ]
+        out = np.empty(n_pairs, dtype=np.int64)
+        ctx = _mp_context()
+        with ctx.Pool(
+            processes=n_parts,
+            initializer=_init_worker,
+            initargs=(cfg,),
+        ) as pool:
+            for start, counts in pool.imap_unordered(_count_range, bounds):
+                out[start:start + len(counts)] = counts
+        return out
+    finally:
+        shm_covers.close()
+        shm_covers.unlink()
+        shm_pairs.close()
+        shm_pairs.unlink()

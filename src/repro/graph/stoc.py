@@ -20,6 +20,17 @@ Each node is visited a constant number of times, so the total cost is
 O(nodes + edges) — the property that lets SCube scale to millions of
 companies.
 
+Since PR 8 the ball growing is *level-synchronous and array-batched*:
+each BFS level gathers all frontier neighbours in one CSR gather,
+deduplicates them, computes every candidate's attribute distance against
+the seed in one vectorized pass over the stacked per-attribute code
+matrix, and accepts/rejects the whole level at once.  This is
+result-identical to the seed-era deque BFS (``graph/legacy.py``):
+acceptance depends only on a candidate's depth of first discovery
+through accepted nodes — the same for every order within a level — and
+on the seed–candidate attribute distance, which is computed with the
+exact same float expression (``1.0 - matches / n_attributes``).
+
 The reference implementation samples seeds randomly; we default to a
 seeded RNG for reproducibility and also expose deterministic
 max-degree-first seeding.
@@ -27,13 +38,11 @@ max-degree-first seeding.
 
 from __future__ import annotations
 
-from collections import deque
-
 import numpy as np
 
 from repro.errors import GraphError
 from repro.graph.attributes import NodeAttributeTable
-from repro.graph.components import Clustering
+from repro.graph.components import Clustering, gather_neighbors
 from repro.graph.graph import Graph
 
 
@@ -73,65 +82,73 @@ def stoc_clustering(
         raise GraphError("attribute table size does not match graph")
 
     n = graph.n_nodes
+    indptr, indices, _ = graph.csr()
     if seed_order == "random":
         rng = np.random.default_rng(seed)
         order = rng.permutation(n)
     elif seed_order == "degree":
-        degrees = np.fromiter((graph.degree(u) for u in range(n)),
-                              dtype=np.int64, count=n)
-        order = np.argsort(-degrees, kind="stable")
+        order = np.argsort(-np.diff(indptr), kind="stable")
     else:
         raise GraphError(f"unknown seed_order {seed_order!r}")
 
+    if attributes is not None and attributes.n_attributes:
+        codes = attributes.codes_matrix()
+        n_attrs = attributes.n_attributes
+    else:
+        codes = None
+        n_attrs = 0
+
     labels = np.full(n, -1, dtype=np.int64)
+    # Per-ball "visited" without an O(n) reset per ball: a node is
+    # visited in the current ball iff its stamp equals the ball epoch.
+    visited_epoch = np.zeros(n, dtype=np.int64)
+    epoch = 0
     next_label = 0
     for seed_node in order:
         seed_node = int(seed_node)
         if labels[seed_node] != -1:
             continue
-        ball = _tau_ball(graph, attributes, seed_node, labels, tau, alpha,
-                         horizon)
-        for node in ball:
-            labels[node] = next_label
+        labels[seed_node] = next_label
+        if indptr[seed_node + 1] == indptr[seed_node]:
+            # isolated seed: the ball is the singleton, skip the BFS
+            next_label += 1
+            continue
+        epoch += 1
+        visited_epoch[seed_node] = epoch
+        frontier = np.array([seed_node], dtype=np.int64)
+        for depth in range(horizon):
+            neighbors = gather_neighbors(indptr, indices, frontier)
+            if not len(neighbors):
+                break
+            fresh = neighbors[
+                (labels[neighbors] == -1)
+                & (visited_epoch[neighbors] != epoch)
+            ]
+            if not len(fresh):
+                break
+            candidates = np.unique(fresh)
+            # Encountered nodes are consumed whether accepted or not: a
+            # rejected node never bridges the ball to distant regions.
+            visited_epoch[candidates] = epoch
+            d_topo = (depth + 1) / horizon
+            if codes is not None:
+                matches = (
+                    codes[:, candidates] == codes[:, seed_node][:, None]
+                ).sum(axis=0)
+                d_attr = 1.0 - matches / n_attrs
+            else:
+                d_attr = 0.0
+            distance = alpha * d_topo + (1 - alpha) * d_attr
+            accepted = candidates[distance <= tau] \
+                if codes is not None else \
+                (candidates if distance <= tau
+                 else np.empty(0, dtype=np.int64))
+            if not len(accepted):
+                break
+            labels[accepted] = next_label
+            frontier = accepted
         next_label += 1
     return Clustering(
         labels, next_label,
         f"stoc(tau={tau:g},alpha={alpha:g},h={horizon})"
     )
-
-
-def _tau_ball(
-    graph: Graph,
-    attributes: "NodeAttributeTable | None",
-    seed_node: int,
-    labels: np.ndarray,
-    tau: float,
-    alpha: float,
-    horizon: int,
-) -> list[int]:
-    """Grow the τ-close ball of ``seed_node`` over unassigned nodes.
-
-    Expansion only continues through accepted nodes, so a rejected node
-    never bridges the ball to distant regions.
-    """
-    ball = [seed_node]
-    visited = {seed_node}
-    queue: deque[tuple[int, int]] = deque([(seed_node, 0)])
-    while queue:
-        u, depth = queue.popleft()
-        if depth >= horizon:
-            continue
-        for v in graph.neighbors(u):
-            if v in visited or labels[v] != -1:
-                continue
-            visited.add(v)
-            d_topo = (depth + 1) / horizon
-            if attributes is not None:
-                d_attr = attributes.hamming_distance(seed_node, v)
-            else:
-                d_attr = 0.0
-            distance = alpha * d_topo + (1 - alpha) * d_attr
-            if distance <= tau:
-                ball.append(v)
-                queue.append((v, depth + 1))
-    return ball

@@ -26,12 +26,19 @@ written by :mod:`repro.store` without re-running ETL, mining or fill:
   ``/trend``), byte-identical to the in-process payload builders in
   :mod:`repro.serve.payloads`; run it under any WSGI container or the
   bundled threaded ``wsgiref`` server.
+* :class:`~repro.serve.graph.GraphService` — the same zero-rebuild
+  contract for scenario 2/3 graph outputs: opens a graph snapshot
+  (:mod:`repro.store.graph`) and answers cluster rankings and degree
+  queries from its flat arrays; ``make_app(...,
+  graph_source="graph_snap/")`` mounts it under ``/graph/info``,
+  ``/graph/clusters`` and ``/graph/degree``.
 * ``python -m repro.serve <dir> top|slice|cell|pivot|info|serve`` — a
   small CLI over the same services, with text or ``--json`` output and
   an HTTP ``serve`` subcommand.
 """
 
 from repro.serve.cache import CachedCubeService, QueryCache
+from repro.serve.graph import GraphService
 from repro.serve.http import make_app, wsgi_get
 from repro.serve.router import ShardedCubeService, open_service
 from repro.serve.service import CubeService
@@ -39,6 +46,7 @@ from repro.serve.service import CubeService
 __all__ = [
     "CachedCubeService",
     "CubeService",
+    "GraphService",
     "QueryCache",
     "ShardedCubeService",
     "make_app",

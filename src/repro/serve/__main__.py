@@ -132,6 +132,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-size", type=int, default=None,
         help="hot-query LRU entries (0 disables caching)",
     )
+    serve.add_argument(
+        "--graph", default=None, metavar="DIR",
+        help="graph snapshot directory to mount under /graph/*",
+    )
 
     for cmd in sub.choices.values():
         cmd.add_argument(
@@ -158,6 +162,7 @@ def _run_serve(args) -> int:
     server = serve(
         args.snapshot, host=args.host, port=args.port,
         mmap=not args.no_mmap, date=args.date, cache_size=cache_size,
+        graph_source=args.graph,
     )
     host, port = server.server_address[:2]
     print(f"serving http://{host}:{port} (Ctrl-C to stop)", file=sys.stderr)

@@ -1,0 +1,118 @@
+"""Read-only serving over a graph snapshot (scenario 2/3 outputs).
+
+:class:`GraphService` wraps a reopened
+:class:`~repro.store.graph.GraphSnapshot` with the handful of queries
+the HTTP tier exposes — summary info, cluster size ranking, node
+degrees — all answered from the snapshot's flat arrays without ever
+rebuilding adjacency:
+
+* degrees and weighted degrees are one ``np.bincount`` each over the
+  edge endpoint arrays, computed lazily on first use and cached;
+* cluster sizes are one ``np.bincount`` over the label array.
+
+Like :class:`~repro.serve.service.CubeService`, the service is
+immutable after construction, so it is safe under the threaded WSGI
+server without locks.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.store.graph import GraphSnapshot, open_graph_snapshot
+
+
+class GraphService:
+    """Queries over one graph snapshot (projection + clustering)."""
+
+    def __init__(self, snapshot: GraphSnapshot):
+        self.snapshot = snapshot
+        self._degrees: "np.ndarray | None" = None
+        self._weighted: "np.ndarray | None" = None
+        self._sizes: "np.ndarray | None" = None
+
+    @classmethod
+    def open(cls, path: "str | Path", mmap: bool = True) -> "GraphService":
+        """Open a graph snapshot directory and serve it."""
+        return cls(open_graph_snapshot(path, mmap=mmap))
+
+    # -- cached array derivations --------------------------------------
+
+    def degrees(self) -> np.ndarray:
+        """Unweighted degree per node (each edge counts once per end)."""
+        if self._degrees is None:
+            u, v, _ = self.snapshot.edge_arrays()
+            n = self.snapshot.n_nodes
+            self._degrees = (
+                np.bincount(u, minlength=n) + np.bincount(v, minlength=n)
+            ).astype(np.int64)
+        return self._degrees
+
+    def weighted_degrees(self) -> np.ndarray:
+        """Sum of incident edge weights per node."""
+        if self._weighted is None:
+            u, v, w = self.snapshot.edge_arrays()
+            n = self.snapshot.n_nodes
+            self._weighted = (
+                np.bincount(u, weights=w, minlength=n)
+                + np.bincount(v, weights=w, minlength=n)
+            )
+        return self._weighted
+
+    def cluster_sizes(self) -> np.ndarray:
+        """Node count per cluster id."""
+        if self._sizes is None:
+            self._sizes = np.bincount(
+                self.snapshot.array("labels"),
+                minlength=self.snapshot.manifest.n_clusters,
+            ).astype(np.int64)
+        return self._sizes
+
+    # -- queries -------------------------------------------------------
+
+    def info(self) -> "dict[str, object]":
+        """Snapshot summary plus degree/cluster headline numbers."""
+        degrees = self.degrees()
+        sizes = self.cluster_sizes()
+        info = self.snapshot.info()
+        info["max_degree"] = int(degrees.max()) if len(degrees) else 0
+        info["mean_degree"] = (
+            float(degrees.mean()) if len(degrees) else 0.0
+        )
+        info["giant_cluster_size"] = int(sizes.max()) if len(sizes) else 0
+        return info
+
+    def clusters(self, k: int = 10, min_size: int = 1
+                 ) -> "list[dict[str, int]]":
+        """The ``k`` largest clusters (ties broken by lower cluster id)."""
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        sizes = self.cluster_sizes()
+        eligible = np.flatnonzero(sizes >= max(min_size, 1))
+        order = eligible[np.argsort(-sizes[eligible], kind="stable")]
+        return [
+            {"cluster": int(c), "size": int(sizes[c])}
+            for c in order[:k]
+        ]
+
+    def node(self, node: int) -> "dict[str, object]":
+        """One node's degree, weighted degree and cluster."""
+        n = self.snapshot.n_nodes
+        if not 0 <= node < n:
+            raise ValueError(f"node {node} out of range [0, {n})")
+        return {
+            "node": int(node),
+            "degree": int(self.degrees()[node]),
+            "weighted_degree": float(self.weighted_degrees()[node]),
+            "cluster": int(self.snapshot.array("labels")[node]),
+        }
+
+    def top_degree(self, k: int = 10) -> "list[dict[str, object]]":
+        """The ``k`` highest-degree nodes (ties broken by lower node id)."""
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        degrees = self.degrees()
+        order = np.argsort(-degrees, kind="stable")
+        return [self.node(int(node)) for node in order[:k]]

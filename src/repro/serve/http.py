@@ -19,6 +19,20 @@ already-constructed service — into a WSGI application exposing the
 ``POST /refresh``     pick up a newly published timeline date
 ====================  ====================================================
 
+When a *graph snapshot* is mounted alongside the cube
+(``make_app(..., graph_source="graph_snap/")``, written by
+:func:`repro.store.dump_graph_snapshot` from scenario 2/3), three more
+endpoints serve the projected graph + clustering through the same
+payload layer:
+
+====================  ====================================================
+``GET /graph/info``   graph summary: counts, method, degrees, provenance
+``GET /graph/clusters``  the ``k`` largest clusters (``k``/``min_size``)
+``GET /graph/degree``    one node (``node=``) or the top ``k`` by degree
+====================  ====================================================
+
+Without a mounted graph those paths answer 404.
+
 Coordinates are repeatable ``attribute=value`` query parameters
 (``?sa=sex%3DF&sa=age%3Dyoung&ca=region%3Dnorth``), parsed and
 type-coerced by the *same* :mod:`repro.serve.params` functions the CLI
@@ -197,11 +211,50 @@ _GET_ROUTES = {
 }
 
 
+# ----------------------------------------------------------------------
+# Graph endpoints: (graph_service, params) -> (status, payload)
+# ----------------------------------------------------------------------
+
+
+def _handle_graph_info(graph_service, params):
+    return 200, payloads.graph_info_payload(graph_service)
+
+
+def _handle_graph_clusters(graph_service, params):
+    return 200, payloads.graph_clusters_payload(
+        graph_service,
+        k=_int_param(params, "k", 10),
+        min_size=_int_param(params, "min_size", 1),
+    )
+
+
+def _handle_graph_degree(graph_service, params):
+    node = _str_param(params, "node")
+    if node is not None:
+        try:
+            node = int(node)
+        except ValueError:
+            raise ValueError(
+                f"parameter 'node' must be an integer, got {node!r}"
+            ) from None
+    return 200, payloads.graph_degree_payload(
+        graph_service, node=node, k=_int_param(params, "k", 10)
+    )
+
+
+_GRAPH_GET_ROUTES = {
+    "/graph/info": _handle_graph_info,
+    "/graph/clusters": _handle_graph_clusters,
+    "/graph/degree": _handle_graph_degree,
+}
+
+
 def make_app(
     source,
     mmap: bool = True,
     date: "int | None" = None,
     cache_size: int = DEFAULT_CACHE_SIZE,
+    graph_source=None,
 ):
     """Build the WSGI application over a serving source.
 
@@ -214,6 +267,12 @@ def make_app(
     entries (0 disables caching).  Service objects are used as-is, so a
     parity test can hand the app the very instance it queries
     in-process.
+
+    ``graph_source`` optionally mounts a graph snapshot under
+    ``/graph/*``: a snapshot directory path, an opened
+    :class:`~repro.store.graph.GraphSnapshot`, or a ready
+    :class:`~repro.serve.graph.GraphService`.  ``None`` (the default)
+    leaves the graph endpoints answering 404.
     """
     if hasattr(source, "info") and hasattr(source, "top"):
         service = source
@@ -221,6 +280,18 @@ def make_app(
         service = CachedCubeService(
             open_service(source, mmap=mmap, date=date), maxsize=cache_size
         )
+    if graph_source is None:
+        graph_service = None
+    elif hasattr(graph_source, "clusters") and hasattr(graph_source, "node"):
+        graph_service = graph_source
+    else:
+        from repro.serve.graph import GraphService
+        from repro.store.graph import GraphSnapshot
+
+        if isinstance(graph_source, GraphSnapshot):
+            graph_service = GraphService(graph_source)
+        else:
+            graph_service = GraphService.open(graph_source, mmap=mmap)
 
     def app(environ, start_response):
         path = environ.get("PATH_INFO", "/")
@@ -232,6 +303,19 @@ def make_app(
                 refresher = getattr(service, "refresh", None)
                 refreshed = bool(refresher()) if callable(refresher) else False
                 status, payload = 200, {"refreshed": refreshed}
+            elif path in _GRAPH_GET_ROUTES:
+                if graph_service is None:
+                    raise _HTTPError(
+                        404, f"no graph snapshot mounted (for {path})"
+                    )
+                if method not in ("GET", "HEAD"):
+                    raise _HTTPError(405, f"{path} only supports GET")
+                params = parse_qs(
+                    environ.get("QUERY_STRING", ""), keep_blank_values=True
+                )
+                status, payload = _GRAPH_GET_ROUTES[path](
+                    graph_service, params
+                )
             else:
                 handler = _GET_ROUTES.get(path)
                 if handler is None:
@@ -264,6 +348,7 @@ def make_app(
         return [b"" if method == "HEAD" else body]
 
     app.service = service
+    app.graph_service = graph_service
     return app
 
 
@@ -296,6 +381,7 @@ def serve(
     date: "int | None" = None,
     cache_size: int = DEFAULT_CACHE_SIZE,
     quiet: bool = False,
+    graph_source=None,
 ):
     """Open a source and return a ready ``ThreadingWSGIServer``.
 
@@ -303,7 +389,10 @@ def serve(
     the server (rather than looping here) lets tests bind port 0 and
     shut down cleanly.
     """
-    app = make_app(source, mmap=mmap, date=date, cache_size=cache_size)
+    app = make_app(
+        source, mmap=mmap, date=date, cache_size=cache_size,
+        graph_source=graph_source,
+    )
     return make_server(
         host, port, app,
         server_class=ThreadingWSGIServer,

@@ -136,6 +136,26 @@ def pivot_payload(
     }
 
 
+def graph_info_payload(graph_service) -> "dict[str, object]":
+    """``GraphService.info()`` made JSON-safe (the ``/graph/info`` body)."""
+    return _jsonable(graph_service.info())
+
+
+def graph_clusters_payload(graph_service, k: int = 10, min_size: int = 1
+                           ) -> "list[dict[str, object]]":
+    """The ``k`` largest clusters (the ``/graph/clusters`` body)."""
+    return _jsonable(graph_service.clusters(k=k, min_size=min_size))
+
+
+def graph_degree_payload(graph_service, node: "int | None" = None,
+                         k: int = 10) -> object:
+    """One node's degree record, or the top-``k`` by degree when no node
+    is given (the ``/graph/degree`` body)."""
+    if node is not None:
+        return _jsonable(graph_service.node(node))
+    return _jsonable(graph_service.top_degree(k=k))
+
+
 def _jsonable(obj: object) -> object:
     """Plain-JSON view of nested info dicts (Paths, numpy ints, NaN)."""
     if isinstance(obj, dict):

@@ -21,6 +21,12 @@ memory-mapped, as a fully functional read-only
   shards, partitioned by key hash, by a context attribute's value, or
   by timeline date; :class:`repro.serve.router.ShardedCubeService`
   reopens and merges them.
+* :mod:`repro.store.graph` — graph snapshots
+  (:func:`dump_graph_snapshot`, :func:`open_graph_snapshot`,
+  :func:`validate_graph_snapshot`): scenario 2/3's projected graph +
+  clustering as ``.npy`` edge/label arrays behind a
+  ``graph_manifest.json``, so graph-derived queries are servable
+  without re-projecting.
 * :mod:`repro.store.timeline` — :class:`CubeTimeline` /
   :func:`dump_into_timeline`: a dated directory of snapshots where
   each date after the first is a *delta* storing only the cells that
@@ -38,6 +44,16 @@ snapshot does not carry, so reopened cubes answer point queries for
 *materialised* cells only.
 """
 
+from repro.store.graph import (
+    GRAPH_FORMAT_VERSION,
+    GRAPH_MANIFEST_NAME,
+    GraphArtifact,
+    GraphManifest,
+    GraphSnapshot,
+    dump_graph_snapshot,
+    open_graph_snapshot,
+    validate_graph_snapshot,
+)
 from repro.store.manifest import FORMAT_VERSION, MANIFEST_NAME, SnapshotManifest
 from repro.store.shards import (
     SHARDS_NAME,
@@ -67,6 +83,11 @@ from repro.store.timeline import (
 __all__ = [
     "CubeTimeline",
     "FORMAT_VERSION",
+    "GRAPH_FORMAT_VERSION",
+    "GRAPH_MANIFEST_NAME",
+    "GraphArtifact",
+    "GraphManifest",
+    "GraphSnapshot",
     "MANIFEST_NAME",
     "SHARDS_NAME",
     "ShardEntry",
@@ -74,16 +95,19 @@ __all__ = [
     "SnapshotManifest",
     "delta_chain_length",
     "dump_delta_snapshot",
+    "dump_graph_snapshot",
     "dump_into_timeline",
     "dump_sharded_into_timeline",
     "dump_sharded_snapshot",
     "dump_snapshot",
     "is_sharded",
+    "open_graph_snapshot",
     "open_snapshot",
     "shard_timeline_by_date",
     "snapshot_disk_bytes",
     "snapshot_files",
     "table_digest",
     "timeline_dates",
+    "validate_graph_snapshot",
     "validate_snapshot",
 ]

@@ -21,6 +21,7 @@ from repro.data.synthetic import (
     checkerboard_table,
     planted_counts,
     planted_table,
+    random_bipartite_world,
     random_final_table,
     uniform_table,
 )
@@ -234,3 +235,53 @@ class TestSchools:
         table, _ = generate_schools(SchoolsConfig(students_per_school=10,
                                                   schools_per_city=2))
         assert len(table) == 40
+
+
+class TestRandomBipartiteWorld:
+    def test_shape_and_determinism(self):
+        a, attrs_a = random_bipartite_world(2000, 100, seed=4)
+        b, attrs_b = random_bipartite_world(2000, 100, seed=4)
+        assert a.n_left == 2000 and a.n_right == 100
+        assert a.n_edges == b.n_edges
+        la, ra = a.membership_arrays()
+        lb, rb = b.membership_arrays()
+        assert np.array_equal(la, lb) and np.array_equal(ra, rb)
+        assert attrs_a.names == attrs_b.names == ["sector", "region"]
+        for name in attrs_a.names:
+            assert np.array_equal(attrs_a.codes(name), attrs_b.codes(name))
+
+    def test_seed_changes_world(self):
+        a, _ = random_bipartite_world(2000, 100, seed=4)
+        b, _ = random_bipartite_world(2000, 100, seed=5)
+        la, ra = a.membership_arrays()
+        lb, rb = b.membership_arrays()
+        assert len(la) != len(lb) or not np.array_equal(ra, rb)
+
+    def test_every_individual_has_a_board(self):
+        world, _ = random_bipartite_world(500, 50, seed=7)
+        assert (world.left_degrees() >= 1).all()
+
+    def test_group_popularity_is_power_law(self):
+        world, _ = random_bipartite_world(20000, 200, seed=8)
+        degrees = world.right_degrees()
+        # Low-rank groups must dominate: top 10% of groups hold most seats.
+        top = int(degrees[:20].sum())
+        assert top > world.n_edges / 2
+
+    def test_attribute_table_matches_groups(self):
+        _, attrs = random_bipartite_world(
+            300, 40, attributes={"kind": 3}, seed=9
+        )
+        assert attrs.n_nodes == 40
+        assert attrs.n_attributes == 1
+        assert attrs.codes("kind").max() < 3
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            random_bipartite_world(0, 5)
+        with pytest.raises(ReproError):
+            random_bipartite_world(5, 5, mean_extra_degree=-1)
+        with pytest.raises(ReproError):
+            random_bipartite_world(5, 5, attribute_skew=0)
+        with pytest.raises(ReproError):
+            random_bipartite_world(5, 5, attributes={"x": 0})

@@ -26,10 +26,37 @@ class TestBipartiteGraph:
 
     def test_membership_queries(self):
         g = BipartiteGraph.from_edges(3, 2, [(0, 0), (1, 0), (2, 1)])
-        assert g.members_of(0) == {0, 1}
-        assert g.groups_of(2) == {1}
-        assert g.left_degrees() == [1, 1, 1]
-        assert g.right_degrees() == [2, 1]
+        assert g.members_of(0).tolist() == [0, 1]
+        assert g.groups_of(2).tolist() == [1]
+        assert g.left_degrees().tolist() == [1, 1, 1]
+        assert g.right_degrees().tolist() == [2, 1]
+
+    def test_membership_views_are_readonly(self):
+        g = BipartiteGraph.from_edges(3, 2, [(0, 0), (1, 0), (2, 1)])
+        with pytest.raises(ValueError):
+            g.members_of(0)[0] = 5
+        with pytest.raises(ValueError):
+            g.left_degrees()[0] = 9
+
+    def test_from_arrays_matches_from_edges(self):
+        pairs = [(0, 0), (1, 0), (2, 1), (1, 0)]
+        a = BipartiteGraph.from_edges(3, 2, pairs)
+        b = BipartiteGraph.from_arrays(
+            3, 2,
+            np.array([p[0] for p in pairs]),
+            np.array([p[1] for p in pairs]),
+        )
+        assert a.n_edges == b.n_edges == 3
+        la, ra = a.membership_arrays()
+        lb, rb = b.membership_arrays()
+        assert la.tolist() == lb.tolist()
+        assert ra.tolist() == rb.tolist()
+
+    def test_from_arrays_range_checks(self):
+        with pytest.raises(GraphError, match="left node 3"):
+            BipartiteGraph.from_arrays(3, 2, np.array([3]), np.array([0]))
+        with pytest.raises(GraphError, match="right node -1"):
+            BipartiteGraph.from_arrays(3, 2, np.array([0]), np.array([-1]))
 
     def test_out_of_range_rejected(self):
         g = BipartiteGraph(1, 1)
