@@ -214,6 +214,12 @@ class SegregationDataCubeBuilder:
     workers:
         Process count for ``engine="parallel"`` (None = one per CPU);
         ignored by the other engines.
+    mine_workers:
+        Process count for the mining passes (see
+        :mod:`repro.itemsets.parallel`): both passes of
+        :meth:`mine_coordinates` fan their DFS roots across this many
+        workers, with bit-identical mined coordinates.  ``None``
+        (default) mines in-process; independent of the fill engine.
     """
 
     def __init__(
@@ -228,6 +234,7 @@ class SegregationDataCubeBuilder:
         codec: str = "packed",
         engine: str = "columnar",
         workers: "int | None" = None,
+        mine_workers: "int | None" = None,
     ):
         if mode not in ("all", "closed"):
             raise CubeError(f"mode must be 'all' or 'closed', got {mode!r}")
@@ -238,6 +245,10 @@ class SegregationDataCubeBuilder:
             )
         if workers is not None and int(workers) < 1:
             raise CubeError(f"workers must be >= 1, got {workers!r}")
+        if mine_workers is not None and int(mine_workers) < 1:
+            raise CubeError(
+                f"mine_workers must be >= 1, got {mine_workers!r}"
+            )
         self.indexes: list[IndexSpec] = resolve_indexes(indexes)
         self.min_population = min_population
         self.min_minority = min_minority
@@ -248,6 +259,9 @@ class SegregationDataCubeBuilder:
         self.codec = codec
         self.engine = engine
         self.workers = None if workers is None else int(workers)
+        self.mine_workers = (
+            None if mine_workers is None else int(mine_workers)
+        )
 
     # ------------------------------------------------------------------
 
@@ -279,6 +293,8 @@ class SegregationDataCubeBuilder:
             # "incremental" cold-starts (and plain-builds) through the
             # columnar fill; its delta path lives in cube/incremental.py.
             store = self._fill_columnar(db, mined)
+        if self.mine_workers is not None:
+            extra_meta["mine_workers"] = self.mine_workers
 
         metadata = CubeMetadata(
             index_names=[spec.name for spec in self.indexes],
@@ -356,6 +372,7 @@ class SegregationDataCubeBuilder:
             items=db.dictionary.ca_ids,
             max_len=self.max_ca_items,
             with_covers=True,
+            workers=self.mine_workers,
         )
         if db.n_active >= minsup_pop:
             # The root (empty) context is added by hand, so it is the
@@ -385,6 +402,7 @@ class SegregationDataCubeBuilder:
             ca_ids=db.dictionary.ca_ids,
             max_sa=self.max_sa_items,
             max_ca=self.max_ca_items,
+            workers=self.mine_workers,
         )
         if self.mode == "closed":
             supports = {k: v.support() for k, v in mixed_covers.items()}
@@ -669,6 +687,7 @@ def build_cube(
     codec: str = "packed",
     engine: str = "columnar",
     workers: "int | None" = None,
+    mine_workers: "int | None" = None,
     snapshot_path=None,
 ) -> SegregationCube:
     """One-call convenience wrapper around the builder.
@@ -686,6 +705,7 @@ def build_cube(
         codec=codec,
         engine=engine,
         workers=workers,
+        mine_workers=mine_workers,
     )
     cube = builder.build(table, schema)
     if snapshot_path is not None:

@@ -243,6 +243,7 @@ class TemporalCubeEngine:
             items=affected_ca,
             max_len=self.builder.max_ca_items,
             with_covers=True,
+            workers=self.builder.mine_workers,
         )
         if db.n_active >= minsup_pop:
             recompute[frozenset()] = db.full_cover()
@@ -268,6 +269,7 @@ class TemporalCubeEngine:
                 max_len=self.builder.max_sa_items,
                 with_covers=True,
                 within=context_cover,
+                workers=self.builder.mine_workers,
             )
             for sa_part, cell_cover in refinements.items():
                 mixed_covers[sa_part | context] = cell_cover

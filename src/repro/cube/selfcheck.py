@@ -1,17 +1,23 @@
-"""Cube engine self-checks: parallel-fill parity, CI-runnable.
+"""Cube engine self-checks: parallel fill + parallel mine parity.
 
-One smoke for the fill engines, runnable anywhere::
+One smoke for the multiprocess paths, runnable anywhere::
 
-    python -m repro.cube.selfcheck --workers 2
+    python -m repro.cube.selfcheck --workers 2 --mine-workers 2
 
-Builds two cubes — the bundled schools dataset and a skewed synthetic
-table with a multi-valued context attribute — once with the
-single-process columnar engine and once with ``engine="parallel"`` at
-the requested worker count, and fails loudly (exit 1) unless every cell
-is **bit-identical** (``check_same_cells`` at atol=0) in both ``all``
-and ``closed`` modes.  The worker edge cases the test suite covers
-(1 worker, more workers than contexts) ride on whatever ``--workers``
-the caller picks; CI runs 2.
+Builds cubes over two datasets — the bundled schools dataset and a
+skewed synthetic table with a multi-valued context attribute — in both
+``all`` and ``closed`` modes, and fails loudly (exit 1) unless every
+cell is **bit-identical** (``check_same_cells`` at atol=0) between:
+
+* the single-process columnar engine (the reference);
+* ``engine="parallel"`` at the requested ``--workers``;
+* a build whose *mining* passes ran across ``--mine-workers``
+  processes (:mod:`repro.itemsets.parallel`) on top of the parallel
+  fill — the full multiprocess pipeline.
+
+The worker edge cases the test suite covers (1 worker, more workers
+than roots/contexts) ride on whatever counts the caller picks; CI
+runs 2/2.
 """
 
 from __future__ import annotations
@@ -25,8 +31,8 @@ from repro.data.schools import generate_schools
 from repro.data.synthetic import random_final_table
 
 
-def run(workers: int) -> int:
-    """Columnar vs parallel parity over two datasets and both modes."""
+def run(workers: int, mine_workers: "int | None" = None) -> int:
+    """Columnar vs parallel-fill vs parallel-mine parity, both modes."""
     synthetic = random_final_table(
         3000, 12,
         sa_attributes={"g": 2, "eth": 4},
@@ -40,6 +46,16 @@ def run(workers: int) -> int:
         ("synthetic", synthetic,
          {"min_population": 30, "min_minority": 8}),
     ]
+    variants = [
+        ("parallel-fill",
+         {"engine": "parallel", "workers": workers}),
+    ]
+    if mine_workers is not None:
+        variants.append(
+            ("parallel-mine+fill",
+             {"engine": "parallel", "workers": workers,
+              "mine_workers": mine_workers}),
+        )
     failures = 0
     checked = []
     for name, (table, schema), limits in datasets:
@@ -47,23 +63,27 @@ def run(workers: int) -> int:
             columnar = SegregationDataCubeBuilder(
                 mode=mode, **limits
             ).build(table, schema)
-            parallel = SegregationDataCubeBuilder(
-                mode=mode, engine="parallel", workers=workers, **limits
-            ).build(table, schema)
-            problems = check_same_cells(columnar, parallel, atol=0.0)
-            for problem in problems[:10]:
-                print(
-                    f"PARALLEL PARITY FAILURE ({name}, mode={mode}): "
-                    f"{problem}",
-                    file=sys.stderr,
-                )
-            failures += len(problems)
-            checked.append(f"{name}/{mode}: {len(parallel)} cells")
+            for label, opts in variants:
+                candidate = SegregationDataCubeBuilder(
+                    mode=mode, **opts, **limits
+                ).build(table, schema)
+                problems = check_same_cells(columnar, candidate, atol=0.0)
+                for problem in problems[:10]:
+                    print(
+                        f"PARALLEL PARITY FAILURE ({name}, mode={mode}, "
+                        f"{label}): {problem}",
+                        file=sys.stderr,
+                    )
+                failures += len(problems)
+            checked.append(f"{name}/{mode}: {len(columnar)} cells")
     if failures:
         return 1
+    mine_note = (
+        f", mine_workers={mine_workers}" if mine_workers is not None else ""
+    )
     print(
-        f"cube selfcheck OK: parallel({workers} workers) == columnar "
-        f"at atol=0 [{'; '.join(checked)}]"
+        f"cube selfcheck OK: parallel({workers} workers{mine_note}) == "
+        f"columnar at atol=0 [{'; '.join(checked)}]"
     )
     return 0
 
@@ -71,16 +91,28 @@ def run(workers: int) -> int:
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.cube.selfcheck",
-        description="assert engine='parallel' is bit-exact vs columnar",
+        description=(
+            "assert engine='parallel' fills and workers= mining are "
+            "bit-exact vs the columnar single-process build"
+        ),
     )
     parser.add_argument(
         "--workers", type=int, default=2,
-        help="process count for the parallel engine (default 2)",
+        help="process count for the parallel fill engine (default 2)",
+    )
+    parser.add_argument(
+        "--mine-workers", type=int, default=None,
+        help=(
+            "also check a build whose mining passes ran across this "
+            "many processes (default: skip the mining variant)"
+        ),
     )
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error("--workers must be >= 1")
-    return run(args.workers)
+    if args.mine_workers is not None and args.mine_workers < 1:
+        parser.error("--mine-workers must be >= 1")
+    return run(args.workers, args.mine_workers)
 
 
 if __name__ == "__main__":

@@ -27,6 +27,7 @@ bit-identical (property-tested in ``tests/test_cover_engine.py``).
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Iterable
 
 import numpy as np
@@ -284,6 +285,23 @@ def get_codec(name: str) -> "type[Cover]":
     raise MiningError(
         f"unknown cover codec {name!r}; choose from {COVER_CODECS}"
     )
+
+
+def cover_digest(cover: Cover) -> bytes:
+    """A 16-byte content digest of a cover's bit pattern.
+
+    Covers with equal bits get equal digests, so the digest can key
+    cover-equivalence classes (the closed-itemset dedup) across process
+    boundaries — unlike Python's ``hash()``, which is salted per
+    process.  Packed covers digest their word bytes directly; other
+    codecs pack first, so the digest is stable under the DFS's ``&``
+    chain within any one codec.
+    """
+    if isinstance(cover, CoverSet):
+        data = cover.words.tobytes()
+    else:
+        data = np.packbits(cover.to_bools(), bitorder="little").tobytes()
+    return hashlib.blake2b(data, digest_size=16).digest()
 
 
 def as_cover(value: "Cover | np.ndarray | Iterable[bool]",

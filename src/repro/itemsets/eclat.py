@@ -8,15 +8,122 @@ packed ``uint64`` bitmaps by default, so intersection is a word-wise AND
 and support a vectorized popcount; the dense-boolean and EWAH-compressed
 codecs run through the identical code path (the DFS only needs ``&`` and
 ``support()``).
+
+The search tree decomposes by *root item*: once the frequent 1-items are
+sorted by ascending support, the subtree rooted at position ``pos`` only
+touches the root's cover and the tail ``frequent[pos + 1:]`` — no state
+is shared between subtrees.  The module therefore exposes the DFS as
+per-root kernels (:func:`mine_root`, :func:`mine_typed_root`) over a
+shared :func:`frequent_triples` preparation step; ``mine_eclat`` and
+``mine_eclat_typed`` are thin sequential loops over those kernels, and
+:mod:`repro.itemsets.parallel` fans the *identical* kernels across
+``multiprocessing`` workers (``workers=`` here delegates to it), so the
+parallel mine is bit-identical — same itemsets, same emission order,
+same supports — to the sequential one.
 """
 
 from __future__ import annotations
+
+from collections.abc import Callable
 
 from repro.errors import MiningError
 from repro.itemsets.coverset import Cover
 from repro.itemsets.transactions import TransactionDatabase
 
 Itemset = frozenset[int]
+
+#: One frequent 1-item: ``(item id, cover, support)``.
+FrequentTriple = "tuple[int, Cover, int]"
+
+#: Emission callback: ``record(itemset_tuple, cover, support)``.
+Record = "Callable[[tuple[int, ...], Cover, int], None]"
+
+
+def frequent_triples(
+    db: TransactionDatabase,
+    minsup: int,
+    items: "list[int] | None" = None,
+    within: "Cover | None" = None,
+) -> "list[FrequentTriple]":
+    """The frequent 1-items as ``(item, cover, support)``, support-sorted.
+
+    This is the shared preparation step of every eclat entry point: the
+    DFS roots in ascending-support order (the classic heuristic that
+    keeps conditional covers small near the root).  Each item's support
+    is computed exactly once and reused for both the frequency filter
+    and the ordering.
+
+    With ``within=`` the covers are intersected with the given root
+    cover first; an item's restricted support can only shrink, so
+    candidates are pre-pruned by the database's cached unrestricted
+    supports before paying for any AND — the incremental engine calls
+    this once per affected context on the same restricted view, and the
+    cache makes those calls share one support scan instead of
+    recomputing per context.
+    """
+    covers = db.covers()
+    candidate_ids = list(items) if items is not None else list(range(db.n_items))
+
+    frequent: "list[FrequentTriple]" = []
+    if within is None:
+        supports = db.cached_item_supports()
+        for i in candidate_ids:
+            support = int(supports[i])
+            if support >= minsup:
+                frequent.append((i, covers[i], support))
+    else:
+        base_supports = db.cached_item_supports()
+        for i in candidate_ids:
+            if base_supports[i] < minsup:
+                # support(cover & within) <= support(cover): hopeless
+                # items never pay for the intersection.
+                continue
+            cover = covers[i] & within
+            support = cover.support()
+            if support >= minsup:
+                frequent.append((i, cover, support))
+    frequent.sort(key=lambda triple: triple[2])
+    return frequent
+
+
+def _dfs(
+    prefix: "tuple[int, ...]",
+    prefix_cover: Cover,
+    tail: "list[FrequentTriple]",
+    minsup: int,
+    max_len: "int | None",
+    record: "Record",
+) -> None:
+    """The eclat DFS over one conditional tail (the single shared kernel)."""
+    if max_len is not None and len(prefix) >= max_len:
+        return
+    for pos, (item, item_cover, _) in enumerate(tail):
+        cover = prefix_cover & item_cover
+        support = cover.support()
+        if support < minsup:
+            continue
+        itemset = prefix + (item,)
+        record(itemset, cover, support)
+        _dfs(itemset, cover, tail[pos + 1:], minsup, max_len, record)
+
+
+def mine_root(
+    frequent: "list[FrequentTriple]",
+    pos: int,
+    minsup: int,
+    max_len: "int | None",
+    record: "Record",
+) -> None:
+    """Emit the subtree rooted at ``frequent[pos]`` in sequential order.
+
+    ``mine_eclat`` is exactly ``for pos in range(len(frequent)):
+    mine_root(...)``; a parallel driver may call the same kernel for any
+    subset of root positions and splice the per-root emissions back in
+    position order to reproduce the sequential output bit for bit.
+    """
+    item, item_cover, support = frequent[pos]
+    record((item,), item_cover, support)
+    _dfs((item,), item_cover, frequent[pos + 1:], minsup, max_len, record)
 
 
 def mine_eclat(
@@ -26,6 +133,7 @@ def mine_eclat(
     max_len: "int | None" = None,
     with_covers: bool = False,
     within: "Cover | None" = None,
+    workers: "int | None" = None,
 ) -> "dict[Itemset, int] | dict[Itemset, Cover]":
     """Mine all frequent itemsets (support >= ``minsup``), depth-first.
 
@@ -44,54 +152,126 @@ def mine_eclat(
         with it before the DFS).  The incremental cube fill uses this
         to mine the SA refinements of one context without touching
         rows outside the context's cover.
-
-    Notes
-    -----
-    Items are ordered by ascending support before the DFS — the classic
-    heuristic that keeps conditional covers small near the root.  Each
-    item's support is computed exactly once and reused for both the
-    frequency filter and the ordering.
+    workers:
+        When given, fan the root subtrees across a ``multiprocessing``
+        pool (see :mod:`repro.itemsets.parallel`); the result —
+        itemsets, emission order, supports, covers — is bit-identical
+        to the sequential mine.  ``None`` (default) mines in-process.
     """
     if minsup < 1:
         raise MiningError(f"minsup must be >= 1, got {minsup}")
-    covers = db.covers()
-    candidate_ids = list(items) if items is not None else list(range(db.n_items))
+    if workers is not None:
+        from repro.itemsets.parallel import mine_eclat_parallel
 
-    frequent = []
-    for i in candidate_ids:
-        cover = covers[i] if within is None else covers[i] & within
-        support = cover.support()
-        if support >= minsup:
-            frequent.append((i, cover, support))
-    frequent.sort(key=lambda triple: triple[2])
+        return mine_eclat_parallel(
+            db, minsup, items=items, max_len=max_len,
+            with_covers=with_covers, within=within, workers=workers,
+        )
+    frequent = frequent_triples(db, minsup, items=items, within=within)
 
     out_covers: dict[Itemset, Cover] = {}
     out_supports: dict[Itemset, int] = {}
 
-    def record(itemset: tuple[int, ...], cover: Cover, support: int) -> None:
+    def record(itemset: "tuple[int, ...]", cover: Cover, support: int) -> None:
         key = frozenset(itemset)
         if with_covers:
             out_covers[key] = cover
         else:
             out_supports[key] = support
 
-    def dfs(prefix: tuple[int, ...], prefix_cover: Cover,
-            tail: "list[tuple[int, Cover, int]]") -> None:
-        if max_len is not None and len(prefix) >= max_len:
-            return
-        for pos, (item, item_cover, _) in enumerate(tail):
-            cover = prefix_cover & item_cover
-            support = cover.support()
-            if support < minsup:
-                continue
-            itemset = prefix + (item,)
-            record(itemset, cover, support)
-            dfs(itemset, cover, tail[pos + 1:])
-
-    for pos, (item, item_cover, support) in enumerate(frequent):
-        record((item,), item_cover, support)
-        dfs((item,), item_cover, frequent[pos + 1:])
+    for pos in range(len(frequent)):
+        mine_root(frequent, pos, minsup, max_len, record)
     return out_covers if with_covers else out_supports
+
+
+def typed_frequent_triples(
+    db: TransactionDatabase,
+    minsup: int,
+    sa_ids: "list[int]",
+    ca_ids: "list[int]",
+) -> "list[FrequentTriple]":
+    """Frequent 1-items of the typed lattice, support-sorted.
+
+    Candidates are the SA ids followed by the CA ids (the order
+    ``mine_eclat_typed`` has always used); the stable support sort makes
+    the resulting root order — and with it the whole emission order —
+    deterministic and codec-independent.
+    """
+    covers = db.covers()
+    supports = db.cached_item_supports()
+    frequent = [
+        (i, covers[i], int(supports[i]))
+        for i in list(sa_ids) + list(ca_ids)
+        if supports[i] >= minsup
+    ]
+    frequent.sort(key=lambda triple: triple[2])
+    return frequent
+
+
+def _dfs_typed(
+    prefix: "tuple[int, ...]",
+    prefix_cover: Cover,
+    n_sa: int,
+    n_ca: int,
+    tail: "list[FrequentTriple]",
+    sa_set: "frozenset[int] | set[int]",
+    minsup: int,
+    max_sa: "int | None",
+    max_ca: "int | None",
+    record: "Record",
+) -> None:
+    """The typed eclat DFS kernel (per-kind caps enforced mid-search)."""
+    for pos, (item, item_cover, _) in enumerate(tail):
+        if item in sa_set:
+            d_sa, d_ca = 1, 0
+        else:
+            d_sa, d_ca = 0, 1
+        if max_sa is not None and n_sa + d_sa > max_sa:
+            continue
+        if max_ca is not None and n_ca + d_ca > max_ca:
+            continue
+        cover = prefix_cover & item_cover
+        support = cover.support()
+        if support < minsup:
+            continue
+        itemset = prefix + (item,)
+        record(itemset, cover, support)
+        _dfs_typed(itemset, cover, n_sa + d_sa, n_ca + d_ca,
+                   tail[pos + 1:], sa_set, minsup, max_sa, max_ca, record)
+
+
+def mine_typed_root(
+    frequent: "list[FrequentTriple]",
+    pos: int,
+    full_cover: Cover,
+    sa_set: "frozenset[int] | set[int]",
+    minsup: int,
+    max_sa: "int | None",
+    max_ca: "int | None",
+    record: "Record",
+) -> None:
+    """Emit the typed subtree rooted at ``frequent[pos]``.
+
+    This is the top-level iteration of the typed DFS unrolled to one
+    root position, so a parallel driver can run disjoint root ranges
+    through the identical kernel and splice in position order.
+    """
+    item, item_cover, _ = frequent[pos]
+    if item in sa_set:
+        n_sa, n_ca = 1, 0
+    else:
+        n_sa, n_ca = 0, 1
+    if max_sa is not None and n_sa > max_sa:
+        return
+    if max_ca is not None and n_ca > max_ca:
+        return
+    cover = full_cover & item_cover
+    support = cover.support()
+    if support < minsup:
+        return
+    record((item,), cover, support)
+    _dfs_typed((item,), cover, n_sa, n_ca, frequent[pos + 1:],
+               sa_set, minsup, max_sa, max_ca, record)
 
 
 def mine_eclat_typed(
@@ -101,6 +281,7 @@ def mine_eclat_typed(
     ca_ids: "list[int]",
     max_sa: "int | None" = None,
     max_ca: "int | None" = None,
+    workers: "int | None" = None,
 ) -> "dict[Itemset, Cover]":
     """Eclat DFS constrained by per-kind item caps (the cube's lattice).
 
@@ -113,49 +294,31 @@ def mine_eclat_typed(
     parent prefix).
 
     Returns covers for every frequent itemset within the caps,
-    including the empty itemset's all-true cover.
+    including the empty itemset's all-true cover.  ``workers=`` fans
+    the root subtrees across processes with bit-identical output (see
+    :mod:`repro.itemsets.parallel`).
     """
     if minsup < 1:
         raise MiningError(f"minsup must be >= 1, got {minsup}")
-    covers = db.covers()
-    sa_set = set(sa_ids)
+    if workers is not None:
+        from repro.itemsets.parallel import mine_eclat_typed_parallel
 
-    def kind_cost(item: int) -> tuple[int, int]:
-        return (1, 0) if item in sa_set else (0, 1)
-
-    frequent = [
-        (i, covers[i], support)
-        for i, support in (
-            (i, covers[i].support()) for i in list(sa_ids) + list(ca_ids)
+        return mine_eclat_typed_parallel(
+            db, minsup, sa_ids=sa_ids, ca_ids=ca_ids,
+            max_sa=max_sa, max_ca=max_ca, workers=workers,
         )
-        if support >= minsup
-    ]
-    frequent.sort(key=lambda triple: triple[2])
+    frequent = typed_frequent_triples(db, minsup, sa_ids, ca_ids)
+    sa_set = set(sa_ids)
+    full_cover = db.full_cover()
 
-    out: dict[Itemset, Cover] = {frozenset(): db.full_cover()}
+    out: dict[Itemset, Cover] = {frozenset(): full_cover}
 
-    def fits(n_sa: int, n_ca: int) -> bool:
-        if max_sa is not None and n_sa > max_sa:
-            return False
-        if max_ca is not None and n_ca > max_ca:
-            return False
-        return True
+    def record(itemset: "tuple[int, ...]", cover: Cover, support: int) -> None:
+        out[frozenset(itemset)] = cover
 
-    def dfs(prefix: tuple[int, ...], prefix_cover: Cover,
-            n_sa: int, n_ca: int,
-            tail: "list[tuple[int, Cover, int]]") -> None:
-        for pos, (item, item_cover, _) in enumerate(tail):
-            d_sa, d_ca = kind_cost(item)
-            if not fits(n_sa + d_sa, n_ca + d_ca):
-                continue
-            cover = prefix_cover & item_cover
-            if cover.support() < minsup:
-                continue
-            itemset = prefix + (item,)
-            out[frozenset(itemset)] = cover
-            dfs(itemset, cover, n_sa + d_sa, n_ca + d_ca, tail[pos + 1:])
-
-    dfs((), db.full_cover(), 0, 0, frequent)
+    for pos in range(len(frequent)):
+        mine_typed_root(frequent, pos, full_cover, sa_set, minsup,
+                        max_sa, max_ca, record)
     return out
 
 

@@ -177,6 +177,7 @@ class TransactionDatabase:
                 raise MiningError("unit ids must be non-negative")
         self.units = units
         self._covers: dict[int, Cover] | None = None
+        self._item_supports: np.ndarray | None = None
         self._unit_order: np.ndarray | None = None
         self._unit_indptr: np.ndarray | None = None
         self._active: Cover | None = None
@@ -225,6 +226,7 @@ class TransactionDatabase:
         db._covers = {
             i: cover & active_cover for i, cover in self.covers().items()
         }
+        db._item_supports = None
         if self.units is not None:
             self._unit_grouping()
         db._unit_order = self._unit_order
@@ -279,6 +281,19 @@ class TransactionDatabase:
                 dtype=np.int64, count=self.n_items,
             )
         return np.bincount(self._indices, minlength=self.n_items)
+
+    def cached_item_supports(self) -> np.ndarray:
+        """:meth:`item_supports`, computed once and cached.
+
+        Mining entry points consult per-item supports on every call; the
+        incremental engine in particular mines once per affected context
+        against the *same* restricted snapshot view, so caching turns
+        its per-context support scans into a single one.  The array is
+        owned by the database — callers must not mutate it.
+        """
+        if self._item_supports is None:
+            self._item_supports = self.item_supports()
+        return self._item_supports
 
     def covers(self) -> "dict[int, Cover]":
         """Vertical layout: one :class:`Cover` per item id (cached).
