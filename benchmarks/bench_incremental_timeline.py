@@ -19,10 +19,22 @@ cube — live *and* reopened through the parent chain — is bit-identical
 (``check_same_cells`` at atol=0) to a from-scratch columnar build at
 that date.  Numbers land in ``results/E19_incremental_timeline.txt``
 and ``results/BENCH_E19.json``.
+
+The second experiment stretches the timeline to **50 dates in closed
+mode** at ~2% churn per date: every incremental update must stay
+bit-identical to a from-scratch closed build (closure diff included),
+the worst update must beat a per-date full closed rebuild ≥ 3x, and
+the measured open-latency compaction policy must hold the last date's
+chain-resolved open within 2x of the first date's while the
+uncompacted chain grows unboundedly.  Its numbers merge into the same
+``BENCH_E19.json``.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import shutil
 import time
 from pathlib import Path
 
@@ -31,19 +43,53 @@ import numpy as np
 from repro.cube.builder import SegregationDataCubeBuilder
 from repro.cube.cube import check_same_cells
 from repro.cube.incremental import TemporalCubeEngine
-from repro.data.synthetic import random_temporal_final_table
+from repro.data.synthetic import random_final_table, random_temporal_final_table
 from repro.etl.diff import TableDiff, valid_at
 from repro.itemsets.transactions import encode_table
 from repro.report.text import render_table
-from repro.store import CubeTimeline, dump_into_timeline, dump_snapshot
+from repro.store import (
+    CompactionPolicy,
+    CubeTimeline,
+    compact_timeline,
+    dump_into_timeline,
+    dump_snapshot,
+    measure_open_ms,
+    snapshot_disk_bytes,
+    timeline_dates,
+)
 
 from benchmarks.bench_cube_fill import FILL_ROWS, LIMITS
-from benchmarks.conftest import write_bench_json, write_result
+from benchmarks.conftest import RESULTS_DIR, write_bench_json, write_result
 
 DATES = (0, 1, 2)
 MAX_CHURN = 0.05
 MIN_SPEEDUP = 5.0
 MIN_SHARED = 0.80
+
+# --- the 50-date closed-mode timeline ---------------------------------
+CLOSED_ROWS = int(os.environ.get("E19_CLOSED_ROWS", 40_000))
+N_CLOSED_DATES = 50
+CLOSED_CHURN = 0.02
+MIN_CLOSED_SPEEDUP = 3.0
+MAX_OPEN_RATIO = 2.0
+CLOSED_LIMITS = {"min_population": 40, "min_minority": 10,
+                 "max_sa_items": 2, "max_ca_items": 2}
+
+
+def _merge_bench_json(experiment: str, payload: "dict[str, object]"):
+    """Merge new fields into an existing BENCH_<experiment>.json.
+
+    Both E19 tests contribute to one JSON record; whichever runs second
+    must not clobber the first's fields.
+    """
+    path = RESULTS_DIR / f"BENCH_{experiment}.json"
+    merged: "dict[str, object]" = {}
+    if path.is_file():
+        merged = json.loads(path.read_text())
+        for key in ("experiment", "python", "machine", "peak_rss_mb"):
+            merged.pop(key, None)
+    merged.update(payload)
+    return write_bench_json(experiment, merged)
 
 
 def _temporal_table():
@@ -154,7 +200,7 @@ def test_incremental_fill_and_delta_dump(benchmark, tmp_path):
         "(bit-exact parity asserted, atol=0)\n"
         + render_table(["stage", "time (ms)", "speedup vs rebuild"], rows),
     )
-    write_bench_json("E19", {
+    _merge_bench_json("E19", {
         "rows": FILL_ROWS,
         "dates": list(DATES),
         "cells_last_date": len(final_state.cube),
@@ -178,4 +224,223 @@ def test_incremental_fill_and_delta_dump(benchmark, tmp_path):
     assert shared_fraction >= MIN_SHARED, (
         f"delta snapshot shares only {shared_fraction:.1%} of the full "
         f"snapshot bytes (need >= {MIN_SHARED:.0%})"
+    )
+
+
+def _closed_masks():
+    """A 50-date membership series with ~2% localized churn per date.
+
+    Validity intervals can't model re-joining rows, so the long
+    timeline synthesizes per-date boolean masks directly: at every date
+    a fresh ~1% of rows sits out, so consecutive dates differ by ~2% of
+    rows.  Churn is localized the way
+    :func:`~repro.data.synthetic.random_temporal_final_table` localizes
+    it — only rows in the ``r0 & s0`` context with *empty* multi-valued
+    CA sets ever churn — so every other context is provably untouched.
+    """
+    table, schema = random_final_table(
+        CLOSED_ROWS, 60, sa_attributes={"g": 2, "a": 4, "b": 3},
+        ca_attributes={"r": 3, "s": 3}, multi_valued_ca={"mv": 4},
+        seed=13, skew=0.5,
+    )
+    pool_mask = (
+        table.categorical("r").mask_eq("r0")
+        & table.categorical("s").mask_eq("s0")
+    )
+    pool_mask &= np.fromiter(
+        (len(v) == 0 for v in table.multivalued("mv").values()),
+        dtype=bool, count=CLOSED_ROWS,
+    )
+    pool = np.flatnonzero(pool_mask)
+    rng = np.random.default_rng(17)
+    out_size = CLOSED_ROWS // 100          # ~1% out per date
+    assert len(pool) >= 3 * out_size
+    masks = []
+    for _ in range(N_CLOSED_DATES):
+        mask = np.ones(CLOSED_ROWS, dtype=bool)
+        mask[rng.choice(pool, size=out_size, replace=False)] = False
+        masks.append(mask)
+    return table, schema, masks
+
+
+def test_closed_incremental_50_date_timeline(benchmark, tmp_path):
+    """50 closed-mode dates: >= 3x vs rebuild, bounded open latency."""
+    table, schema, masks = _closed_masks()
+    churns = [
+        float(np.mean(a != b)) for a, b in zip(masks, masks[1:])
+    ]
+    assert max(churns) <= CLOSED_CHURN + 0.005, max(churns)
+    assert min(churns) > 0
+
+    union_db = encode_table(table, schema)
+    engine = TemporalCubeEngine(
+        union_db,
+        SegregationDataCubeBuilder(engine="incremental", mode="closed",
+                                   **CLOSED_LIMITS),
+    )
+    timeline_root = tmp_path / "closed_timeline"
+
+    def run():
+        # Incremental timing covers what the publisher pays per date:
+        # the update plus the delta dump (mirrors the 3-date test).
+        state = None
+        prev_cube = None
+        update_seconds = []
+        for date, mask in enumerate(masks):
+            start = time.perf_counter()
+            if state is None:
+                state = engine.build_at(mask, date)
+                dump_into_timeline(timeline_root, date, state.cube)
+            else:
+                state = engine.update(state, mask, date)
+                dump_into_timeline(
+                    timeline_root, date, state.cube,
+                    parent_date=date - 1, parent=prev_cube,
+                )
+                update_seconds.append(time.perf_counter() - start)
+            prev_cube = state.cube
+        return state, update_seconds
+
+    final_state, update_seconds = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    # Baseline: what a per-date non-incremental pipeline pays at the
+    # last date — filter, encode, closed build, full dump.
+    start = time.perf_counter()
+    snapshot_rows = table.filter(masks[-1])
+    scratch_last = SegregationDataCubeBuilder(
+        mode="closed", **CLOSED_LIMITS
+    ).build_from_transactions(encode_table(snapshot_rows, schema))
+    full_dir = tmp_path / "full_last"
+    dump_snapshot(scratch_last, full_dir)
+    rebuild_seconds = time.perf_counter() - start
+
+    worst = max(update_seconds)
+    median = float(np.median(update_seconds))
+    speedup_worst = rebuild_seconds / worst
+    speedup_median = rebuild_seconds / median
+
+    # Closed-mode parity, atol=0, at EVERY date: replay the masks
+    # through the engine once more and scratch-build each date.
+    state = None
+    for date, mask in enumerate(masks):
+        state = (engine.build_at(mask, date) if state is None
+                 else engine.update(state, mask, date))
+        scratch = SegregationDataCubeBuilder(
+            mode="closed", **CLOSED_LIMITS
+        ).build_from_transactions(union_db.restrict(mask))
+        problems = check_same_cells(state.cube, scratch, atol=0.0)
+        assert problems == [], (date, problems[:3])
+
+    # Open-latency curve: uncompacted chain vs the measured policy.
+    dates = timeline_dates(timeline_root)
+    first_dir = timeline_root / str(dates[0])
+    last_dir = timeline_root / str(dates[-1])
+    plain_first_ms = min(measure_open_ms(first_dir) for _ in range(3))
+    plain_last_ms = min(measure_open_ms(last_dir) for _ in range(3))
+    plain_bytes = sum(
+        snapshot_disk_bytes(timeline_root / str(d)) for d in dates
+    )
+
+    compacted_root = tmp_path / "compacted_timeline"
+    shutil.copytree(timeline_root, compacted_root)
+    policy = CompactionPolicy(
+        max_chain=10**6,                    # latency-triggered only
+        max_open_ms=1.5 * max(plain_first_ms, 1.0),
+        min_byte_ratio=10.0,
+    )
+    start = time.perf_counter()
+    compacted_dates = compact_timeline(compacted_root, policy)
+    compact_seconds = time.perf_counter() - start
+    comp_first_ms = min(
+        measure_open_ms(compacted_root / str(dates[0])) for _ in range(3)
+    )
+    comp_last_ms = min(
+        measure_open_ms(compacted_root / str(dates[-1])) for _ in range(3)
+    )
+    comp_bytes = sum(
+        snapshot_disk_bytes(compacted_root / str(d)) for d in dates
+    )
+
+    # Compacted timeline still answers bit-exactly at spot-check dates.
+    compacted_timeline = CubeTimeline(compacted_root)
+    for date in (dates[0], dates[len(dates) // 2], dates[-1]):
+        scratch = SegregationDataCubeBuilder(
+            mode="closed", **CLOSED_LIMITS
+        ).build_from_transactions(union_db.restrict(masks[date]))
+        assert check_same_cells(
+            compacted_timeline.at(date), scratch, atol=0.0
+        ) == []
+
+    # What 50 independent full snapshots would cost on disk.
+    full_estimate = snapshot_disk_bytes(full_dir) * len(dates)
+
+    extra = final_state.cube.metadata.extra
+    rows = [
+        ["full closed rebuild (last date)", rebuild_seconds * 1e3, 1.0],
+        ["incremental closed update (median)", median * 1e3,
+         speedup_median],
+        ["incremental closed update (worst)", worst * 1e3, speedup_worst],
+    ]
+    open_rows = [
+        ["uncompacted", plain_first_ms, plain_last_ms,
+         plain_last_ms / plain_first_ms],
+        ["compacted", comp_first_ms, comp_last_ms,
+         comp_last_ms / comp_first_ms],
+    ]
+    write_result(
+        "E19_closed_50_dates",
+        f"Closed-mode incremental timeline: {CLOSED_ROWS} rows x "
+        f"{N_CLOSED_DATES} dates at ~{CLOSED_CHURN:.0%} churn "
+        f"(last date: {extra['n_carried_contexts']} contexts carried, "
+        f"{extra['n_recomputed_contexts']} recomputed, "
+        f"{extra['n_carried_cells']}+"
+        f"{extra['n_carried_cells_within_affected']} cells carried; "
+        "bit-exact parity vs scratch closed builds asserted at every "
+        "date, atol=0)\n"
+        + render_table(["stage", "time (ms)", "speedup vs rebuild"], rows)
+        + "\n" + render_table(
+            ["timeline", "first open (ms)", "last open (ms)", "ratio"],
+            open_rows,
+        )
+        + f"\ncompacted {len(compacted_dates)}/{len(dates)} dates in "
+        f"{compact_seconds * 1e3:.0f} ms; bytes: plain {plain_bytes} "
+        f"({plain_bytes / full_estimate:.2f}x of {len(dates)} fulls), "
+        f"compacted {comp_bytes} ({comp_bytes / plain_bytes:.2f}x of "
+        "plain)",
+    )
+    _merge_bench_json("E19", {
+        "closed_rows": CLOSED_ROWS,
+        "closed_dates": N_CLOSED_DATES,
+        "closed_churn_max": max(churns),
+        "closed_cells_last_date": len(final_state.cube),
+        "closed_rebuild_ms": rebuild_seconds * 1e3,
+        "closed_incremental_median_ms": median * 1e3,
+        "closed_incremental_worst_ms": worst * 1e3,
+        "closed_speedup_median": speedup_median,
+        "closed_speedup_worst": speedup_worst,
+        "min_closed_speedup_required": MIN_CLOSED_SPEEDUP,
+        "open_ms_uncompacted_first": plain_first_ms,
+        "open_ms_uncompacted_last": plain_last_ms,
+        "open_ms_compacted_first": comp_first_ms,
+        "open_ms_compacted_last": comp_last_ms,
+        "max_open_ratio_required": MAX_OPEN_RATIO,
+        "n_dates_compacted": len(compacted_dates),
+        "compact_total_ms": compact_seconds * 1e3,
+        "timeline_bytes_uncompacted": plain_bytes,
+        "timeline_bytes_compacted": comp_bytes,
+        "bytes_vs_full_snapshots": plain_bytes / full_estimate,
+    })
+    assert speedup_worst >= MIN_CLOSED_SPEEDUP, (
+        f"worst closed-mode incremental update only {speedup_worst:.1f}x "
+        f"faster than a full closed rebuild (need >= "
+        f"{MIN_CLOSED_SPEEDUP}x)"
+    )
+    assert comp_last_ms <= MAX_OPEN_RATIO * comp_first_ms, (
+        f"compacted last-date open {comp_last_ms:.1f} ms exceeds "
+        f"{MAX_OPEN_RATIO}x the first-date open {comp_first_ms:.1f} ms"
+    )
+    assert plain_bytes < full_estimate, (
+        "delta timeline should undercut independent full snapshots"
     )

@@ -61,7 +61,7 @@ from repro.etl.table import Table
 from repro.indexes.base import IndexSpec, resolve_indexes
 from repro.indexes.counts import UnitCounts
 from repro.itemsets.closed import filter_closed
-from repro.itemsets.coverset import Cover
+from repro.itemsets.coverset import Cover, cover_digest
 from repro.itemsets.eclat import mine_eclat, mine_eclat_typed
 from repro.itemsets.miner import absolute_minsup
 from repro.itemsets.transactions import TransactionDatabase, encode_table
@@ -177,6 +177,12 @@ class MinedCoordinates:
     minsup_pop: int
     minsup_min: int
     n_contexts: int
+    #: Closed mode + incremental engine only: every pass-2 itemset —
+    #: including the non-closed ones filtered out of ``mixed_covers`` —
+    #: mapped to ``(cover_digest, closed_flag)``, the seed of the
+    #: incremental engine's closure-diff pass (see
+    #: :func:`repro.itemsets.closed.closure_diff`).
+    closed_info: "dict[Itemset, tuple[bytes, bool]] | None" = None
 
 
 class SegregationDataCubeBuilder:
@@ -277,6 +283,18 @@ class SegregationDataCubeBuilder:
 
     def build_from_transactions(self, db: TransactionDatabase) -> SegregationCube:
         """Build from an already-encoded transaction database."""
+        cube, _ = self._build_mined(db)
+        return cube
+
+    def _build_mined(
+        self, db: TransactionDatabase
+    ) -> "tuple[SegregationCube, MinedCoordinates]":
+        """Build and also return the mined coordinates.
+
+        The incremental engine's cold start needs the mining byproducts
+        (context tvecs, closed flags) alongside the cube; everyone else
+        goes through :meth:`build_from_transactions`.
+        """
         if db.units is None:
             raise CubeError("transaction database has no unit labels")
         started = time.perf_counter()
@@ -315,8 +333,9 @@ class SegregationDataCubeBuilder:
         resolver = _LazyResolver(
             self, db, mined.minsup_pop, mined.minsup_min
         )
-        return SegregationCube(store, db.dictionary, metadata,
+        cube = SegregationCube(store, db.dictionary, metadata,
                                resolver=resolver)
+        return cube, mined
 
     def build_snapshot(
         self,
@@ -404,9 +423,18 @@ class SegregationDataCubeBuilder:
             max_ca=self.max_ca_items,
             workers=self.mine_workers,
         )
+        closed_info: "dict[Itemset, tuple[bytes, bool]] | None" = None
         if self.mode == "closed":
             supports = {k: v.support() for k, v in mixed_covers.items()}
             closed = filter_closed(supports)
+            if self.engine == "incremental":
+                # Seed the closure-diff pass: flags for *every* mined
+                # itemset, non-closed ones included, so a later update
+                # can reuse any flag whose cover digest is unchanged.
+                closed_info = {
+                    k: (cover_digest(v), k in closed)
+                    for k, v in mixed_covers.items()
+                }
             kept = {k: v for k, v in mixed_covers.items() if k in closed}
             kept[frozenset()] = mixed_covers[frozenset()]
             mixed_covers = kept
@@ -419,6 +447,7 @@ class SegregationDataCubeBuilder:
             minsup_pop=minsup_pop,
             minsup_min=minsup_min,
             n_contexts=len(context_covers),
+            closed_info=closed_info,
         )
 
     # ------------------------------------------------------------------

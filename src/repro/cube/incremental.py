@@ -16,20 +16,31 @@ view maintenance to the columnar cube instead:
    bit-identical cover — hence bit-identical per-unit counts, cell set
    and index values — at both dates, so its cube rows are **carried
    over verbatim** from the previous :class:`~repro.cube.table.CellTable`;
-3. the remaining *affected* contexts (provably: contexts made entirely
-   of items that appear on changed rows, whose joint cover touches a
-   changed row) are re-mined with covers restricted to the new date and
-   re-filled through the ordinary columnar engine — the same
-   ``unit_counts_many`` + ``IndexSpec.compute_batch`` path a from-scratch
-   build uses, so the merged cube is bit-exact (``check_same_cells`` at
-   ``atol=0``) with a from-scratch columnar build at the new date.
+3. inside the remaining *affected* contexts, the carry argument applies
+   **per cell**: a candidate coordinate whose static union cover misses
+   every changed row has an unchanged minority vector, and when the
+   context's population vector is also bit-identical (compared by
+   blake2b digest) the whole cube row is carried verbatim from the
+   parent table — only genuinely changed cells re-enter the columnar
+   counting + ``eval_context_block`` path.  The provenance records the
+   split as ``n_carried_cells`` (whole contexts),
+   ``n_carried_cells_within_affected`` and ``n_recomputed_cells``;
+4. ``mode="closed"`` rides the same machinery through a *closure diff*:
+   capped closedness of a coordinate is a function of its cover and the
+   static item covers only (:mod:`repro.itemsets.closed`), so flags are
+   re-derived only for candidates whose ``cover_digest`` changed under
+   the new row mask — every other flag is reused from the previous
+   date.  The result is bit-exact (``check_same_cells`` at ``atol=0``)
+   with a from-scratch closed build at every date.
 
 The correctness argument for carrying a context ``B`` forward: a cell
 ``(A, B)`` has cover ``cover(A∪B) ⊆ cover(B)``; if ``cover(B)`` (on the
 union rows) misses every changed row, so does every subset, so every
 cell's support, per-unit minority vector and context population vector
 are unchanged — and the index kernels are deterministic functions of
-those integers.  Conversely a context that became frequent must have
+those integers.  In closed mode the same inclusion freezes every
+closedness flag of the context's candidates (their covers are
+digest-identical).  Conversely a context that became frequent must have
 gained rows, so its union cover touches an added (changed) row and all
 its items appear on that row — which is why mining only over
 *affected items* finds every context that needs recomputation.
@@ -42,8 +53,9 @@ transparently falls back to a full (columnar) build for that date.
 
 from __future__ import annotations
 
+import hashlib
 import time
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -56,12 +68,22 @@ from repro.cube.cube import CubeMetadata, SegregationCube
 from repro.cube.table import CellTable
 from repro.errors import CubeError
 from repro.etl.diff import TableDiff
+from repro.itemsets.closed import closure_diff
 from repro.itemsets.coverset import Cover
 from repro.itemsets.eclat import mine_eclat
 from repro.itemsets.miner import absolute_minsup
 from repro.itemsets.transactions import TransactionDatabase
 
 Itemset = frozenset[int]
+
+#: Closure memo: candidate itemset -> (cover digest, capped-closed flag).
+ClosedInfo = "dict[Itemset, tuple[bytes, bool]]"
+
+
+def _tvec_digest(tvec: np.ndarray) -> bytes:
+    """16-byte blake2b of a context's per-unit population vector."""
+    data = np.ascontiguousarray(tvec, dtype=np.int64).tobytes()
+    return hashlib.blake2b(data, digest_size=16).digest()
 
 
 @dataclass(frozen=True)
@@ -81,6 +103,14 @@ class TemporalBuildState:
     #: Thresholds as resolved at this date (guard the carry-over).
     minsup_pop: int
     minsup_min: int
+    #: Context -> blake2b digest of its population vector; equality
+    #: against the next date's digest is what licenses carrying a cell
+    #: of an affected context verbatim.
+    context_digests: "dict[Itemset, bytes]" = field(default_factory=dict)
+    #: Closed mode only: context -> closure memo of its candidates
+    #: (closed *and* non-closed — digests gate reuse).  None in ``all``
+    #: mode.
+    closed_info: "dict[Itemset, ClosedInfo] | None" = None
 
 
 class TemporalCubeEngine:
@@ -93,9 +123,9 @@ class TemporalCubeEngine:
         table, valid or not; per-date validity arrives as covers/masks.
     builder:
         The cube builder supplying thresholds, index specs and the
-        columnar fill.  Must use ``engine="incremental"`` and
-        ``mode="all"`` (closed-mode closures are a global property of
-        the snapshot and cannot be carried per context).
+        columnar fill.  Must use ``engine="incremental"``; both
+        ``mode="all"`` and ``mode="closed"`` are supported (closed mode
+        maintains closedness flags through the closure diff).
     """
 
     def __init__(
@@ -112,11 +142,6 @@ class TemporalCubeEngine:
                 "temporal engine requires a builder with "
                 f"engine='incremental', got {builder.engine!r}"
             )
-        if builder.mode != "all":
-            raise CubeError(
-                "incremental fills support mode='all' only "
-                f"(got {builder.mode!r})"
-            )
         self.db = db
         self.builder = builder
 
@@ -127,18 +152,32 @@ class TemporalCubeEngine:
             return valid
         return self.db.as_cover(np.asarray(valid, dtype=bool))
 
+    def _group_closed_info(
+        self,
+        flat: "ClosedInfo | None",
+        contexts: "frozenset[Itemset]",
+    ) -> "dict[Itemset, ClosedInfo] | None":
+        """Nest a flat closure memo under the frequent contexts."""
+        if flat is None:
+            return None
+        grouped: "dict[Itemset, ClosedInfo]" = {
+            context: {} for context in contexts
+        }
+        split = self.db.dictionary.split
+        for itemset, entry in flat.items():
+            sub = grouped.get(split(itemset)[1])
+            if sub is not None:
+                sub[itemset] = entry
+        return grouped
+
     def build_at(
         self, valid: "Cover | np.ndarray", date: "int | None" = None
     ) -> TemporalBuildState:
         """Full (cold) columnar build at one date; seeds the timeline."""
         active = self._as_cover(valid)
         db = self.db.restrict(active)
-        cube = self.builder.build_from_transactions(db)
-        # Every frequent context owns exactly one context-only cell, so
-        # the frequent-context set is recoverable from the cube itself.
-        contexts = frozenset(
-            key[1] for key in cube.keys() if not key[0]
-        )
+        cube, mined = self.builder._build_mined(db)
+        contexts = frozenset(mined.context_tvecs)
         return TemporalBuildState(
             date=date,
             active=active,
@@ -147,6 +186,13 @@ class TemporalCubeEngine:
             db=db,
             minsup_pop=cube.metadata.min_population,
             minsup_min=cube.metadata.min_minority,
+            context_digests={
+                context: _tvec_digest(tvec)
+                for context, tvec in mined.context_tvecs.items()
+            },
+            closed_info=self._group_closed_info(
+                mined.closed_info, contexts
+            ),
         )
 
     def _unchanged_cube(
@@ -171,6 +217,7 @@ class TemporalCubeEngine:
                 "n_recomputed_contexts": 0,
                 "n_changed_rows": 0,
                 "n_carried_cells": len(state.cube),
+                "n_carried_cells_within_affected": 0,
                 "n_recomputed_cells": 0,
             },
         )
@@ -252,36 +299,138 @@ class TemporalCubeEngine:
             if context not in carried_set
         }
 
-        # Mine the cells of each recomputed context: SA refinements
-        # inside the context's cover, at the mixed threshold the full
-        # pass-2 mine uses.
-        mixed_minsup = min(minsup_min, minsup_pop)
-        sa_ids = list(self.db.dictionary.sa_ids)
-        mixed_covers: "dict[Itemset, Cover]" = {}
-        for context, context_cover in recompute.items():
-            mixed_covers[context] = context_cover
-            if not sa_ids:
-                continue
-            refinements = mine_eclat(
-                db,
-                mixed_minsup,
-                items=sa_ids,
-                max_len=self.builder.max_sa_items,
-                with_covers=True,
-                within=context_cover,
-                workers=self.builder.mine_workers,
-            )
-            for sa_part, cell_cover in refinements.items():
-                mixed_covers[sa_part | context] = cell_cover
-
-        # Count and fill the recomputed contexts through the ordinary
-        # columnar engine (bit-exact with a from-scratch build).
+        # Count the recomputed contexts' population vectors up front:
+        # their digests against the previous date's are what licenses
+        # carrying individual cells inside an affected context.
         recompute_list = list(recompute)
         tvec_matrix = db.unit_counts_many(
             [recompute[context] for context in recompute_list]
         )
         pops_vec = tvec_matrix.sum(axis=1)
         nunits_vec = (tvec_matrix > 0).sum(axis=1)
+        new_digests = {
+            context: _tvec_digest(tvec_matrix[i])
+            for i, context in enumerate(recompute_list)
+        }
+
+        # Enumerate the candidate cells of each recomputed context: SA
+        # refinements inside the context's cover, at the mixed threshold
+        # the full pass-2 mine uses.
+        mixed_minsup = min(minsup_min, minsup_pop)
+        sa_ids = list(self.db.dictionary.sa_ids)
+        candidates: "dict[Itemset, dict[Itemset, Cover]]" = {}
+        for context, context_cover in recompute.items():
+            cands: "dict[Itemset, Cover]" = {context: context_cover}
+            if sa_ids:
+                refinements = mine_eclat(
+                    db,
+                    mixed_minsup,
+                    items=sa_ids,
+                    max_len=self.builder.max_sa_items,
+                    with_covers=True,
+                    within=context_cover,
+                    workers=self.builder.mine_workers,
+                )
+                for sa_part, cell_cover in refinements.items():
+                    cands[sa_part | context] = cell_cover
+            candidates[context] = cands
+
+        # Closed mode: one closure-diff pass decides candidacy.  Flags
+        # are re-derived only where the cover digest moved; everything
+        # else reuses the previous date's flag (closedness is a function
+        # of the cover and the static item covers alone).
+        closed_mode = self.builder.mode == "closed"
+        flags: "ClosedInfo | None" = None
+        new_closed_info: "dict[Itemset, ClosedInfo] | None" = None
+        if closed_mode:
+            prev_info = state.closed_info or {}
+            flat_prev: ClosedInfo = {}
+            for sub in prev_info.values():
+                flat_prev.update(sub)
+            flags = closure_diff(
+                db,
+                {
+                    itemset: cover
+                    for cands in candidates.values()
+                    for itemset, cover in cands.items()
+                },
+                previous=flat_prev,
+                max_sa=self.builder.max_sa_items,
+                max_ca=self.builder.max_ca_items,
+                workers=self.builder.mine_workers,
+            )
+            new_closed_info = {
+                context: prev_info.get(context, {})
+                for context in carried_set
+            }
+            for context, cands in candidates.items():
+                new_closed_info[context] = {
+                    itemset: flags[itemset] for itemset in cands
+                }
+
+        # Cell-level carry inside the recomputed contexts: a candidate
+        # whose static union cover misses every changed row has an
+        # unchanged minority vector; when the context's tvec digest is
+        # also unchanged the previous cube row is reused verbatim (or,
+        # if the cell did not exist, it is dropped without counting —
+        # its minority total is still below the threshold).  Everything
+        # else goes through the ordinary columnar count + eval path.
+        prev_digests = state.context_digests or {}
+        prev_table = state.cube.table
+        carried_within_rows: "list[int]" = []
+        mixed_covers: "dict[Itemset, Cover]" = {}
+        sa_static: "dict[Itemset, Cover]" = {}
+        for context, cands in candidates.items():
+            tvec_same = (
+                context in prev_digests
+                and prev_digests[context] == new_digests[context]
+            )
+            changed_ctx: "Cover | None" = None
+            for itemset, cover in cands.items():
+                if closed_mode and itemset and not flags[itemset][1]:
+                    # Not closed at this date: not a candidate, exactly
+                    # as the from-scratch closed filter would decide.
+                    continue
+                sa_part = itemset - context
+                if not sa_part:
+                    # Context-only cell: its row is a function of the
+                    # tvec alone, so digest equality carries it.
+                    prev_row = (
+                        prev_table.row_of((sa_part, context))
+                        if tvec_same else None
+                    )
+                    if prev_row is not None:
+                        carried_within_rows.append(prev_row)
+                    else:
+                        mixed_covers[itemset] = cover
+                    continue
+                # Untouched when any single item misses every changed
+                # row (item-level screen, no cover work), or when the
+                # joint static cover does.
+                untouched = not sa_part <= affected_items
+                if not untouched:
+                    if changed_ctx is None:
+                        changed_ctx = self.db.cover_of(context) & changed
+                    sa_cover = sa_static.get(sa_part)
+                    if sa_cover is None:
+                        sa_cover = self.db.cover_of(sa_part)
+                        sa_static[sa_part] = sa_cover
+                    untouched = (changed_ctx & sa_cover).support() == 0
+                if untouched:
+                    prev_row = prev_table.row_of((sa_part, context))
+                    if prev_row is not None and tvec_same:
+                        carried_within_rows.append(prev_row)
+                        continue
+                    if prev_row is None and context in state.contexts:
+                        # The cell was a candidate at the previous date
+                        # too (same support, same closedness flag) and
+                        # was dropped by the minority threshold — its
+                        # unchanged total drops it again.
+                        continue
+                mixed_covers[itemset] = cover
+
+        # Count and fill the recomputed cells through the ordinary
+        # columnar engine (bit-exact with a from-scratch build).
         mined = MinedCoordinates(
             mixed_covers=mixed_covers,
             context_tvecs={
@@ -302,14 +451,16 @@ class TemporalCubeEngine:
         )
         fresh = self.builder._fill_columnar(db, mined)
 
-        # Merge: carried contexts keep their previous rows verbatim.
-        prev_table = state.cube.table
+        # Merge: carried rows — whole contexts and individual cells of
+        # affected contexts — keep their previous-table order and sit
+        # ahead of the freshly evaluated rows.
         prev_keys = prev_table.keys
-        keep = np.fromiter(
-            (
-                i for i, key in enumerate(prev_keys)
-                if key[1] in carried_set
-            ),
+        ctx_keep = [
+            i for i, key in enumerate(prev_keys)
+            if key[1] in carried_set
+        ]
+        keep = np.array(
+            sorted(set(ctx_keep).union(carried_within_rows)),
             dtype=np.int64,
         )
         keys = [prev_keys[i] for i in keep] + list(fresh.keys)
@@ -342,7 +493,10 @@ class TemporalCubeEngine:
                 "n_carried_contexts": len(carried),
                 "n_recomputed_contexts": len(recompute),
                 "n_changed_rows": diff.n_changed,
-                "n_carried_cells": int(len(keep)),
+                "n_carried_cells": len(ctx_keep),
+                "n_carried_cells_within_affected": len(
+                    carried_within_rows
+                ),
                 "n_recomputed_cells": len(fresh),
             },
         )
@@ -350,6 +504,11 @@ class TemporalCubeEngine:
         cube = SegregationCube(
             table, self.db.dictionary, metadata, resolver=resolver
         )
+        context_digests = {
+            context: prev_digests[context]
+            for context in carried_set if context in prev_digests
+        }
+        context_digests.update(new_digests)
         return TemporalBuildState(
             date=date,
             active=active,
@@ -358,6 +517,8 @@ class TemporalCubeEngine:
             db=db,
             minsup_pop=minsup_pop,
             minsup_min=minsup_min,
+            context_digests=context_digests,
+            closed_info=new_closed_info,
         )
 
     # ------------------------------------------------------------------

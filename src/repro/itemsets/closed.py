@@ -19,7 +19,13 @@ from collections import defaultdict
 import numpy as np
 
 from repro.errors import MiningError
-from repro.itemsets.coverset import Cover, cover_digest
+from repro.itemsets.coverset import (
+    WORD_BITS,
+    WORD_DTYPE,
+    Cover,
+    cover_digest,
+    popcount_rows,
+)
 from repro.itemsets.eclat import closure_of, frequent_triples, mine_root
 from repro.itemsets.transactions import TransactionDatabase
 
@@ -153,3 +159,199 @@ def support_of_cover(cover: "Cover | np.ndarray") -> int:
     if isinstance(cover, Cover):
         return cover.support()
     return int(np.asarray(cover, dtype=bool).sum())
+
+
+# ----------------------------------------------------------------------
+# Capped closedness + closure diffs (the incremental engine's pass)
+# ----------------------------------------------------------------------
+#
+# The cube's closed filter is *capped*: the dictionary of candidates is
+# bounded by ``max_sa_items`` / ``max_ca_items``, so "closed" there means
+# "no strict superset WITHIN THE CAPS has the same support".  Because
+# equal-support supersets chain down to single-item extensions (support
+# is antimonotone, and every subset of a capped itemset is capped), the
+# predicate has a local form: X is capped-closed iff no single item
+# ``i ∉ X`` whose kind still has cap room satisfies
+# ``support(X ∪ {i}) == support(X)``.  The empty itemset (the cube's
+# root context/coordinate) is always kept, mirroring ``filter_closed``
+# which never marks the empty subset non-closed.
+#
+# The incremental hook is :func:`closure_diff`: closedness of X is a
+# function of ``cover(X)`` and the *static* per-item covers only
+# (``cover(X) ⊆ active`` already, so intersecting with restricted item
+# covers equals intersecting with unrestricted ones) — hence if
+# ``cover_digest(cover(X))`` is unchanged between two dates, X's
+# closedness flag is unchanged and the previous flag can be reused
+# without touching any cover.
+
+
+def _pack_words(cover: Cover) -> np.ndarray:
+    from repro.itemsets.parallel import pack_cover_words
+
+    return pack_cover_words(cover)
+
+
+def closure_matrix(
+    db: TransactionDatabase,
+) -> "tuple[np.ndarray, int, dict[int, int]]":
+    """Packed per-item cover matrix for bulk closedness tests.
+
+    Returns ``(matrix, n_sa, row_of)``: one packed ``uint64`` row per
+    dictionary item — all SA items first (``n_sa`` of them), then all
+    CA items — plus the item-id → row map.
+    """
+    dictionary = db.dictionary
+    all_ids = list(dictionary.sa_ids) + list(dictionary.ca_ids)
+    n_words = (len(db) + WORD_BITS - 1) // WORD_BITS
+    matrix = np.zeros((len(all_ids), n_words), dtype=WORD_DTYPE)
+    covers = db.covers()
+    for row, item in enumerate(all_ids):
+        matrix[row] = _pack_words(covers[item])
+    return matrix, len(dictionary.sa_ids), {
+        item: row for row, item in enumerate(all_ids)
+    }
+
+
+def closure_flag_entries(
+    matrix: np.ndarray,
+    n_sa: int,
+    max_sa: "int | None",
+    max_ca: "int | None",
+    entries: "list[tuple]",
+) -> "list[tuple]":
+    """Bulk capped-closedness kernel over a packed item-cover matrix.
+
+    Each entry is ``(key, member_rows, sa_len, ca_len, words, support)``
+    — ``words`` the candidate's packed cover (ndarray or raw bytes, so
+    entries pickle cheaply to pool workers), ``member_rows`` its items'
+    matrix rows.  One vectorized AND+popcount sweep per candidate finds
+    every absorbing item (``|cover(X) ∩ cover(i)| == support(X)``);
+    the candidate is closed iff no absorbing item outside X has cap
+    room for its kind.  Returns ``[(key, closed_flag), ...]``.
+    """
+    out = []
+    for key, member_rows, sa_len, ca_len, words, support in entries:
+        sa_room = max_sa is None or sa_len < max_sa
+        ca_room = max_ca is None or ca_len < max_ca
+        if not (sa_room or ca_room) or matrix.shape[0] == 0:
+            out.append((key, True))
+            continue
+        if isinstance(words, (bytes, bytearray)):
+            words = np.frombuffer(words, dtype=WORD_DTYPE)
+        absorbing = popcount_rows(matrix & words[None, :]) == support
+        if member_rows:
+            absorbing[np.asarray(member_rows, dtype=np.int64)] = False
+        if not sa_room:
+            absorbing[:n_sa] = False
+        if not ca_room:
+            absorbing[n_sa:] = False
+        out.append((key, not bool(absorbing.any())))
+    return out
+
+
+def closure_flags(
+    db: TransactionDatabase,
+    candidates: "dict[Itemset, Cover]",
+    max_sa: "int | None" = None,
+    max_ca: "int | None" = None,
+    workers: "int | None" = None,
+) -> "dict[Itemset, bool]":
+    """Capped closedness of each candidate itemset, vectorized.
+
+    Agrees with membership in ``filter_closed`` over the complete capped
+    frequent dictionary (see the module note above; property-tested),
+    without mining that dictionary.  ``workers=`` fans the candidates
+    across a process pool over one shared-memory copy of the item-cover
+    matrix (:func:`repro.itemsets.parallel.closure_flags_parallel`).
+    """
+    if not candidates:
+        return {}
+    if workers is not None and len(candidates) > 1:
+        from repro.itemsets.parallel import closure_flags_parallel
+
+        return closure_flags_parallel(
+            db, candidates, max_sa=max_sa, max_ca=max_ca, workers=workers,
+        )
+    matrix, n_sa, row_of = closure_matrix(db)
+    entries = []
+    out: "dict[Itemset, bool]" = {}
+    split = db.dictionary.split
+    for itemset, cover in candidates.items():
+        if not itemset:
+            out[itemset] = True
+            continue
+        sa_part, ca_part = split(itemset)
+        entries.append((
+            itemset,
+            tuple(row_of[i] for i in itemset),
+            len(sa_part), len(ca_part),
+            _pack_words(cover), cover.support(),
+        ))
+    out.update(
+        closure_flag_entries(matrix, n_sa, max_sa, max_ca, entries)
+    )
+    return out
+
+
+def closed_under_caps(
+    db: TransactionDatabase,
+    itemset: Itemset,
+    cover: "Cover | None" = None,
+    max_sa: "int | None" = None,
+    max_ca: "int | None" = None,
+) -> bool:
+    """Scalar capped-closedness reference (via the closure operator)."""
+    if not itemset:
+        return True
+    if cover is None:
+        cover = db.cover_of(itemset)
+    dictionary = db.dictionary
+    sa_part, ca_part = dictionary.split(itemset)
+    eligible: "list[int]" = []
+    if max_sa is None or len(sa_part) < max_sa:
+        eligible.extend(dictionary.sa_ids)
+    if max_ca is None or len(ca_part) < max_ca:
+        eligible.extend(dictionary.ca_ids)
+    eligible = [i for i in eligible if i not in itemset]
+    if not eligible:
+        return True
+    return not closure_of(db, cover, candidate_items=eligible)
+
+
+def closure_diff(
+    db: TransactionDatabase,
+    candidates: "dict[Itemset, Cover]",
+    previous: "dict[Itemset, tuple[bytes, bool]] | None" = None,
+    max_sa: "int | None" = None,
+    max_ca: "int | None" = None,
+    workers: "int | None" = None,
+) -> "dict[Itemset, tuple[bytes, bool]]":
+    """Re-derive closedness only where the cover digest changed.
+
+    Maps every candidate to ``(cover_digest, closed_flag)``.  A
+    candidate whose digest matches its ``previous`` entry keeps the
+    previous flag untouched (closedness depends only on the cover and
+    the static item covers — see the module note); the rest go through
+    one bulk :func:`closure_flags` pass.
+    """
+    previous = previous or {}
+    out: "dict[Itemset, tuple[bytes, bool]]" = {}
+    pending: "dict[Itemset, tuple[bytes, Cover]]" = {}
+    for itemset, cover in candidates.items():
+        digest = cover_digest(cover)
+        if not itemset:
+            out[itemset] = (digest, True)
+            continue
+        prev = previous.get(itemset)
+        if prev is not None and prev[0] == digest:
+            out[itemset] = (digest, prev[1])
+        else:
+            pending[itemset] = (digest, cover)
+    if pending:
+        flags = closure_flags(
+            db, {k: cover for k, (_, cover) in pending.items()},
+            max_sa=max_sa, max_ca=max_ca, workers=workers,
+        )
+        for itemset, (digest, _) in pending.items():
+            out[itemset] = (digest, flags[itemset])
+    return out

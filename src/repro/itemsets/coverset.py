@@ -55,6 +55,14 @@ def popcount_words(words: np.ndarray) -> int:
     return int(_POPCOUNT_LUT[words.view(np.uint8)].sum())
 
 
+def popcount_rows(words: np.ndarray) -> np.ndarray:
+    """Per-row popcount of a 2-D ``uint64`` word matrix (``int64`` vector)."""
+    if hasattr(np, "bitwise_count"):
+        return np.bitwise_count(words).sum(axis=1, dtype=np.int64)
+    per_byte = _POPCOUNT_LUT[words.view(np.uint8)]
+    return per_byte.reshape(words.shape[0], -1).sum(axis=1, dtype=np.int64)
+
+
 class Cover:
     """Abstract cover interface shared by every codec.
 

@@ -459,6 +459,100 @@ def mine_eclat_typed_parallel(
     return out
 
 
+def _closure_partition(entries: "list[tuple]"):
+    """Pool task: bulk closedness flags for one candidate chunk."""
+    from repro.itemsets.closed import closure_flag_entries
+
+    cfg = _WORKER_CFG
+    shm = shared_memory.SharedMemory(name=cfg["covers_shm"])
+    try:
+        matrix = np.ndarray(
+            (cfg["n_matrix_rows"], cfg["n_words"]), dtype=WORD_DTYPE,
+            buffer=shm.buf,
+        )
+        return closure_flag_entries(
+            matrix, cfg["n_sa"], cfg["max_sa"], cfg["max_ca"], entries,
+        )
+    finally:
+        shm.close()
+
+
+def closure_flags_parallel(
+    db: TransactionDatabase,
+    candidates: "dict[Itemset, Cover]",
+    max_sa: "int | None" = None,
+    max_ca: "int | None" = None,
+    workers: "int | None" = None,
+) -> "dict[Itemset, bool]":
+    """``closure_flags`` across a worker pool; identical output.
+
+    The parent packs the per-item cover matrix
+    (:func:`repro.itemsets.closed.closure_matrix`) into one
+    shared-memory segment; candidate entries — key, member rows, cover
+    words as raw bytes, support — chunk round-robin across the pool and
+    each worker runs the same :func:`closure_flag_entries` kernel.
+    Same segment discipline as :func:`_run_pool`: views die inside the
+    worker frame, parent ``close()+unlink()`` in ``finally``.
+    """
+    from repro.itemsets.closed import closure_matrix
+
+    out: "dict[Itemset, bool]" = {}
+    split = db.dictionary.split
+    matrix, n_sa, row_of = closure_matrix(db)
+    entries: "list[tuple]" = []
+    for itemset, cover in candidates.items():
+        if not itemset:
+            out[itemset] = True
+            continue
+        sa_part, ca_part = split(itemset)
+        entries.append((
+            itemset,
+            tuple(row_of[i] for i in itemset),
+            len(sa_part), len(ca_part),
+            pack_cover_words(cover).tobytes(), cover.support(),
+        ))
+    if not entries:
+        return out
+    n_parts = max(1, min(resolve_workers(workers), len(entries)))
+    chunks = [entries[i::n_parts] for i in range(n_parts)]
+    shm = shared_memory.SharedMemory(
+        create=True, name=_segment_name("closure"),
+        size=max(1, matrix.nbytes),
+    )
+    try:
+        np.ndarray(matrix.shape, WORD_DTYPE, buffer=shm.buf)[:] = matrix
+        cfg = {
+            "covers_shm": shm.name,
+            "n_matrix_rows": matrix.shape[0],
+            "n_words": matrix.shape[1],
+            "n_sa": n_sa,
+            "max_sa": max_sa,
+            "max_ca": max_ca,
+        }
+        del matrix
+        ctx = _mp_context()
+        with ctx.Pool(
+            processes=n_parts,
+            initializer=_init_worker,
+            initargs=(cfg,),
+        ) as pool:
+            try:
+                for part in pool.imap_unordered(
+                    _closure_partition, chunks
+                ):
+                    out.update(part)
+            except MiningError:
+                raise
+            except Exception as exc:
+                raise MiningError(
+                    f"parallel closure worker failed: {exc!r}"
+                ) from exc
+        return out
+    finally:
+        shm.close()
+        shm.unlink()
+
+
 def mine_closed_parallel(
     db: TransactionDatabase,
     minsup: int,

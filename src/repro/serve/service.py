@@ -174,7 +174,52 @@ class CubeService:
                     for date in self._timeline.dates
                 },
             }
+            out["staleness"] = self._staleness()
         return out
+
+    def _staleness(self) -> "dict[str, object]":
+        """How far behind, and how heavy, is what we are serving?
+
+        ``latest_date``/``dates_behind`` compare the served date with
+        the newest snapshot on disk; ``last_publish_at`` (plus the
+        derived ``seconds_since_publish``) comes from the timeline
+        manifest the publisher stamps on every
+        :func:`~repro.store.timeline.dump_into_timeline`;
+        ``chain_lengths`` is the live per-date delta-chain length —
+        after compaction, the numbers the policy left behind.
+        """
+        from datetime import datetime, timezone
+
+        from repro.store.snapshot import delta_chain_length
+        from repro.store.timeline import read_timeline_manifest
+
+        dates = self._timeline.dates
+        latest = dates[-1]
+        manifest = read_timeline_manifest(self._timeline.root)
+        last_publish_at = manifest.get("last_publish_at")
+        seconds_since = None
+        if last_publish_at:
+            try:
+                published = datetime.fromisoformat(last_publish_at)
+                now = datetime.now(timezone.utc)
+                if published.tzinfo is None:
+                    published = published.replace(tzinfo=timezone.utc)
+                seconds_since = max(
+                    0.0, (now - published).total_seconds()
+                )
+            except ValueError:
+                seconds_since = None
+        return {
+            "latest_date": latest,
+            "served_date": self._date,
+            "dates_behind": sum(1 for d in dates if d > self._date),
+            "last_publish_at": last_publish_at,
+            "seconds_since_publish": seconds_since,
+            "chain_lengths": {
+                str(date): delta_chain_length(self._timeline.path_of(date))
+                for date in dates
+            },
+        }
 
     def trend(
         self,

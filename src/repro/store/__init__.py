@@ -32,7 +32,12 @@ memory-mapped, as a fully functional read-only
   each date after the first is a *delta* storing only the cells that
   changed (plus the superseded parent rows, keyed by their packed cell
   bitmasks), so a temporal sequence of cubes shares unchanged column
-  bytes instead of duplicating them per date.
+  bytes instead of duplicating them per date.  A measured
+  :class:`CompactionPolicy` (chain length, resolved-open wall time,
+  delta-to-root byte ratio, tracked in ``timeline.json``) re-roots
+  long chains onto fresh full snapshots crash-safely
+  (:func:`compact_date` / :func:`compact_timeline`,
+  ``python -m repro.store.compact``).
 
 Invariant: for any built cube, ``open_snapshot(dump_snapshot(cube))``
 yields identical cells (``check_same_cells`` at ``atol=0``) and
@@ -75,12 +80,20 @@ from repro.store.snapshot import (
     validate_snapshot,
 )
 from repro.store.timeline import (
+    TIMELINE_MANIFEST_NAME,
+    CompactionPolicy,
     CubeTimeline,
+    compact_date,
+    compact_timeline,
     dump_into_timeline,
+    measure_open_ms,
+    read_timeline_manifest,
+    record_date_stats,
     timeline_dates,
 )
 
 __all__ = [
+    "CompactionPolicy",
     "CubeTimeline",
     "FORMAT_VERSION",
     "GRAPH_FORMAT_VERSION",
@@ -93,6 +106,9 @@ __all__ = [
     "ShardEntry",
     "ShardsManifest",
     "SnapshotManifest",
+    "TIMELINE_MANIFEST_NAME",
+    "compact_date",
+    "compact_timeline",
     "delta_chain_length",
     "dump_delta_snapshot",
     "dump_graph_snapshot",
@@ -101,8 +117,11 @@ __all__ = [
     "dump_sharded_snapshot",
     "dump_snapshot",
     "is_sharded",
+    "measure_open_ms",
     "open_graph_snapshot",
     "open_snapshot",
+    "read_timeline_manifest",
+    "record_date_stats",
     "shard_timeline_by_date",
     "snapshot_disk_bytes",
     "snapshot_files",

@@ -1,0 +1,113 @@
+"""Timeline compaction CLI.
+
+Usage::
+
+    python -m repro.store.compact <timeline-dir> [--max-chain N]
+        [--max-open-ms MS] [--min-byte-ratio R] [--date D ...]
+        [--force] [--dry-run]
+
+Walks the timeline's dates in ascending order, measures each date's
+delta-chain length, own byte size and fresh resolved-open latency, and
+re-roots every date the :class:`~repro.store.timeline.CompactionPolicy`
+flags onto a full snapshot (crash-safely; see
+:mod:`repro.store.timeline`).  ``--dry-run`` prints the measurements
+and decisions without touching anything; ``--force`` compacts every
+delta date regardless of policy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.store.snapshot import (
+    delta_chain_length,
+    snapshot_disk_bytes,
+)
+from repro.store.timeline import (
+    CompactionPolicy,
+    _chain_root,
+    compact_date,
+    measure_open_ms,
+    read_timeline_manifest,
+    timeline_dates,
+)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.store.compact",
+        description="Re-root long delta chains in a cube timeline.",
+    )
+    parser.add_argument("timeline", help="timeline directory")
+    parser.add_argument(
+        "--max-chain", type=int, default=CompactionPolicy.max_chain,
+        help="compact when the parent chain exceeds this many hops",
+    )
+    parser.add_argument(
+        "--max-open-ms", type=float, default=CompactionPolicy.max_open_ms,
+        help="compact when a fresh resolved open takes longer than this",
+    )
+    parser.add_argument(
+        "--min-byte-ratio", type=float,
+        default=CompactionPolicy.min_byte_ratio,
+        help="compact when delta bytes reach this fraction of the root's",
+    )
+    parser.add_argument(
+        "--date", type=int, action="append", default=None,
+        help="only consider this date (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--force", action="store_true",
+        help="compact every delta date regardless of policy",
+    )
+    parser.add_argument(
+        "--dry-run", action="store_true",
+        help="measure and report decisions without compacting",
+    )
+    args = parser.parse_args(argv)
+
+    policy = CompactionPolicy(
+        max_chain=args.max_chain,
+        max_open_ms=args.max_open_ms,
+        min_byte_ratio=args.min_byte_ratio,
+    )
+    dates = sorted(args.date) if args.date else timeline_dates(args.timeline)
+    compacted = []
+    root = Path(args.timeline)
+    for date in dates:
+        directory = root / str(date)
+        if args.dry_run:
+            chain = delta_chain_length(directory)
+            own = snapshot_disk_bytes(directory)
+            open_ms = measure_open_ms(directory)
+            root_bytes = (
+                snapshot_disk_bytes(_chain_root(directory)) if chain else own
+            )
+            would = (chain > 0 and args.force) or policy.should_compact(
+                chain, open_ms=open_ms, own_bytes=own, root_bytes=root_bytes
+            )
+            verdict = "compact" if would else "keep"
+            print(
+                f"{date}: chain={chain} own_bytes={own} "
+                f"open_ms={open_ms:.1f} -> {verdict}"
+            )
+            if would:
+                compacted.append(date)
+            continue
+        if compact_date(root, date, policy=policy, force=args.force):
+            compacted.append(date)
+            print(f"{date}: compacted to full snapshot")
+        else:
+            print(f"{date}: kept")
+    action = "would compact" if args.dry_run else "compacted"
+    print(f"{action} {len(compacted)}/{len(dates)} dates: {compacted}")
+    manifest = read_timeline_manifest(root)
+    if manifest.get("last_publish_at"):
+        print(f"last publish: {manifest['last_publish_at']}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,19 +3,28 @@
 Two smokes for the store/serve stack, runnable anywhere::
 
     python -m repro.store.selfcheck artifacts/cube_snapshot
-    python -m repro.store.selfcheck artifacts/cube_snapshot artifacts/cube_timeline
+    python -m repro.store.selfcheck artifacts/cube_snapshot \
+        artifacts/cube_timeline --closed --compact
 
-The first argument drives the single-snapshot check: build a small cube
-from the bundled schools dataset, dump it, reopen it memory-mapped, and
-fail loudly (exit 1) unless the reopened cube is cell-identical
-(``check_same_cells`` at atol=0) with identical top-k output.
+The snapshot directory drives the single-snapshot check: build a small
+cube from the bundled schools dataset, dump it, reopen it
+memory-mapped, and fail loudly (exit 1) unless the reopened cube is
+cell-identical (``check_same_cells`` at atol=0) with identical top-k
+output.
 
-The optional second argument drives the timeline check: build three
+The optional timeline directory drives the timeline check: build three
 synthetic snapshot dates through the incremental engine
 (:mod:`repro.cube.incremental`), dump date 0 full and the rest as
 *delta* snapshots, reopen every date through the parent chain, and fail
 unless each reopened cube is bit-identical both to the live incremental
 cube and to a from-scratch columnar build at that date.
+
+``--closed`` runs the timeline check in closed mode (the incremental
+closure diff and the from-scratch closed build must agree bit-exactly);
+``--compact`` additionally force-compacts every delta date onto a fresh
+full root (:func:`~repro.store.timeline.compact_timeline`), verifies
+the chains collapsed to zero hops and the manifest recorded a publish
+time, and reruns the parity sweep against the compacted tree.
 
 Both directories are left in place so the CI job can upload them as
 artifacts.
@@ -23,6 +32,7 @@ artifacts.
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 from repro.cube.builder import SegregationDataCubeBuilder, build_cube
@@ -32,8 +42,18 @@ from repro.data.schools import generate_schools
 from repro.data.synthetic import random_temporal_final_table
 from repro.etl.diff import valid_at
 from repro.itemsets.transactions import encode_table
-from repro.store.snapshot import dump_snapshot, open_snapshot, validate_snapshot
-from repro.store.timeline import CubeTimeline, dump_into_timeline
+from repro.store.snapshot import (
+    delta_chain_length,
+    dump_snapshot,
+    open_snapshot,
+    validate_snapshot,
+)
+from repro.store.timeline import (
+    CubeTimeline,
+    compact_timeline,
+    dump_into_timeline,
+    read_timeline_manifest,
+)
 
 
 def run(path: str) -> int:
@@ -61,8 +81,29 @@ def run(path: str) -> int:
     return 0
 
 
-def run_timeline(path: str) -> int:
-    """Timeline check: build → delta-dump → chain reopen → parity x3."""
+def _parity_sweep(timeline, states, scratches, label_prefix="") -> int:
+    failures = 0
+    for state in states:
+        reopened = timeline.at(state.date)
+        pairs = (("live", state.cube), ("scratch", scratches[state.date]))
+        for label, against in pairs:
+            problems = check_same_cells(reopened, against, atol=0.0)
+            for problem in problems[:10]:
+                print(
+                    f"TIMELINE PARITY FAILURE ({label_prefix}date "
+                    f"{state.date}, vs {label}): {problem}",
+                    file=sys.stderr,
+                )
+            failures += len(problems)
+    return failures
+
+
+def run_timeline(path: str, mode: str = "all", compact: bool = False) -> int:
+    """Timeline check: build → delta-dump → chain reopen → parity x3.
+
+    With ``compact=True``, additionally: force-compact → re-reopen →
+    parity x3 against the re-rooted tree.
+    """
     dates = (0, 1, 2)
     limits = {"min_population": 10, "min_minority": 3,
               "max_sa_items": 2, "max_ca_items": 2}
@@ -75,7 +116,8 @@ def run_timeline(path: str) -> int:
     )
     db = encode_table(table, schema)
     engine = TemporalCubeEngine(
-        db, SegregationDataCubeBuilder(engine="incremental", **limits)
+        db, SegregationDataCubeBuilder(engine="incremental", mode=mode,
+                                       **limits)
     )
     states = engine.run(
         [(d, valid_at(starts, ends, d)) for d in dates]
@@ -89,49 +131,95 @@ def run_timeline(path: str) -> int:
         )
         previous = state
 
-    timeline = CubeTimeline(path)
-    failures = 0
-    for state in states:
-        reopened = timeline.at(state.date)
-        scratch = SegregationDataCubeBuilder(
-            **limits
-        ).build_from_transactions(db.restrict(valid_at(starts, ends,
-                                                       state.date)))
-        for label, against in (("live", state.cube), ("scratch", scratch)):
-            problems = check_same_cells(reopened, against, atol=0.0)
-            for problem in problems[:10]:
-                print(
-                    f"TIMELINE PARITY FAILURE (date {state.date}, "
-                    f"vs {label}): {problem}",
-                    file=sys.stderr,
-                )
-            failures += len(problems)
+    scratches = {
+        state.date: SegregationDataCubeBuilder(
+            mode=mode, **limits
+        ).build_from_transactions(
+            db.restrict(valid_at(starts, ends, state.date))
+        )
+        for state in states
+    }
+    failures = _parity_sweep(CubeTimeline(path), states, scratches)
     if failures:
         return 1
+
+    if compact:
+        compacted = compact_timeline(path, force=True)
+        expected = [s.date for s in states[1:]]
+        manifest = read_timeline_manifest(path)
+        if compacted != expected:
+            print(
+                f"COMPACTION FAILURE: compacted {compacted}, "
+                f"expected {expected}",
+                file=sys.stderr,
+            )
+            return 1
+        for state in states:
+            chain = delta_chain_length(f"{path}/{state.date}")
+            if chain != 0:
+                print(
+                    f"COMPACTION FAILURE: date {state.date} still has "
+                    f"chain length {chain}",
+                    file=sys.stderr,
+                )
+                return 1
+        if not manifest.get("last_publish_at"):
+            print(
+                "COMPACTION FAILURE: timeline manifest lost "
+                "last_publish_at",
+                file=sys.stderr,
+            )
+            return 1
+        failures = _parity_sweep(
+            CubeTimeline(path), states, scratches,
+            label_prefix="compacted ",
+        )
+        if failures:
+            return 1
+
     last = states[-1].cube.metadata.extra
+    compact_note = ", force-compacted to chain 0 and re-verified" if (
+        compact
+    ) else ""
     print(
-        f"timeline selfcheck OK: {len(states)} dates, "
+        f"timeline selfcheck OK (mode={mode}): {len(states)} dates, "
         f"{len(states[-1].cube)} cells at date {states[-1].date} "
         f"({last['n_carried_contexts']} contexts carried, "
-        f"{last['n_recomputed_contexts']} recomputed), chain-reopened "
-        "deltas == live == scratch at atol=0"
+        f"{last['n_recomputed_contexts']} recomputed, "
+        f"{last['n_carried_cells']} cells carried), chain-reopened "
+        f"deltas == live == scratch at atol=0{compact_note}"
     )
     return 0
 
 
-def main(argv: "list[str]") -> int:
-    if len(argv) not in (2, 3):
-        print(
-            "usage: python -m repro.store.selfcheck <snapshot-dir> "
-            "[<timeline-dir>]",
-            file=sys.stderr,
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.store.selfcheck",
+        description="Snapshot round-trip and timeline parity self-checks.",
+    )
+    parser.add_argument("snapshot_dir", help="single-snapshot check output")
+    parser.add_argument(
+        "timeline_dir", nargs="?", default=None,
+        help="also run the timeline check into this directory",
+    )
+    parser.add_argument(
+        "--closed", action="store_true",
+        help="run the timeline check in closed mode",
+    )
+    parser.add_argument(
+        "--compact", action="store_true",
+        help="force-compact the timeline and re-verify parity",
+    )
+    args = parser.parse_args(argv)
+    status = run(args.snapshot_dir)
+    if status == 0 and args.timeline_dir is not None:
+        status = run_timeline(
+            args.timeline_dir,
+            mode="closed" if args.closed else "all",
+            compact=args.compact,
         )
-        return 2
-    status = run(argv[1])
-    if status == 0 and len(argv) == 3:
-        status = run_timeline(argv[2])
     return status
 
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv))
+    sys.exit(main())

@@ -141,8 +141,9 @@ class TestIncrementalParity:
         s0 = engine.build_at(valids[0], 0)
         s1 = engine.update(s0, valids[1], 1)
         extra = s1.cube.metadata.extra
-        assert extra["n_carried_cells"] + extra["n_recomputed_cells"] \
-            == len(s1.cube)
+        assert extra["n_carried_cells"] \
+            + extra["n_carried_cells_within_affected"] \
+            + extra["n_recomputed_cells"] == len(s1.cube)
         assert extra["n_carried_contexts"] + extra["n_recomputed_contexts"] \
             == extra["n_contexts"] == len(s1.contexts)
 
@@ -152,8 +153,12 @@ class TestIncrementalParity:
         s0 = engine.build_at(valids[0], 0)
         s1 = engine.update(s0, valids[1], 1)
         prev, new = s0.cube.table, s1.cube.table
-        # Carried rows sit first in the merged table, in previous order.
-        n_carried = s1.cube.metadata.extra["n_carried_cells"]
+        # Carried rows — whole-context carries and per-cell carries
+        # inside recomputed contexts alike — sit first in the merged
+        # table, in previous row order.
+        extra = s1.cube.metadata.extra
+        n_carried = extra["n_carried_cells"] \
+            + extra["n_carried_cells_within_affected"]
         assert n_carried > 0
         for j in range(n_carried):
             key = new.keys[j]
@@ -177,6 +182,7 @@ class TestIncrementalParity:
         assert extra["n_changed_rows"] == 0
         assert extra["n_recomputed_contexts"] == 0
         assert extra["n_carried_cells"] == len(s0.cube)
+        assert extra["n_carried_cells_within_affected"] == 0
         # Consumers of the incremental keys (example, selfcheck) must
         # never KeyError on a static period.
         for key in ("n_carried_contexts", "n_recomputed_cells",
@@ -217,6 +223,160 @@ class TestIncrementalParity:
                 db, valid, min_population=15, min_minority=4
             )
             assert check_same_cells(state.cube, scratch, atol=0.0) == []
+
+
+def _closed_engine(db, **overrides):
+    params = dict(LIMITS)
+    params.update(overrides)
+    return TemporalCubeEngine(
+        db, SegregationDataCubeBuilder(engine="incremental", mode="closed",
+                                       **params)
+    )
+
+
+def _closed_scratch(db, valid, **overrides):
+    params = dict(LIMITS)
+    params.update(overrides)
+    return SegregationDataCubeBuilder(
+        mode="closed", **params
+    ).build_from_transactions(db.restrict(valid))
+
+
+class TestClosedModeIncremental:
+    """Closed-mode updates must match from-scratch closed builds, bit-exact.
+
+    The closure diff only re-derives closedness for itemsets whose
+    ``cover_digest`` changed; everything else reuses the previous flag —
+    and the result must still be indistinguishable from
+    ``filter_closed`` run from scratch at every date.
+    """
+
+    def test_bit_exact_parity_across_dates(self, temporal):
+        db, valids = temporal
+        engine = _closed_engine(db)
+        states = engine.run([(d, valids[d]) for d in (0, 1, 2)])
+        for state in states:
+            scratch = _closed_scratch(db, valids[state.date])
+            assert check_same_cells(state.cube, scratch, atol=0.0) == []
+
+    def test_closed_cube_is_no_larger_than_all_mode(self, temporal):
+        db, valids = temporal
+        all_states = _engine(db).run([(d, valids[d]) for d in (0, 1, 2)])
+        closed_states = _closed_engine(db).run(
+            [(d, valids[d]) for d in (0, 1, 2)]
+        )
+        for sa, sc in zip(all_states, closed_states):
+            assert sc.cube.metadata.mode == "closed"
+            assert len(sc.cube) <= len(sa.cube)
+
+    def test_contexts_are_still_carried_in_closed_mode(self, temporal):
+        db, valids = temporal
+        engine = _closed_engine(db)
+        states = engine.run([(d, valids[d]) for d in (0, 1, 2)])
+        for state in states[1:]:
+            extra = state.cube.metadata.extra
+            assert extra["n_carried_contexts"] > 0
+            assert extra["n_carried_cells"] > 0
+
+    def test_zero_churn_closed_update_returns_previous_cells(self, temporal):
+        # Regression: a static period in closed mode must return the
+        # previous cells verbatim under all-carried provenance, not
+        # re-derive (or worse, drop) closure flags.
+        db, valids = temporal
+        engine = _closed_engine(db)
+        s0 = engine.build_at(valids[0], 0)
+        again = engine.update(s0, valids[0], 7)
+        assert again.cube.table is s0.cube.table
+        extra = again.cube.metadata.extra
+        assert extra["n_changed_rows"] == 0
+        assert extra["n_carried_cells"] == len(s0.cube)
+        assert extra["n_recomputed_cells"] == 0
+        assert extra["n_carried_cells_within_affected"] == 0
+        assert again.closed_info is not None
+        assert check_same_cells(
+            again.cube, _closed_scratch(db, valids[0]), atol=0.0
+        ) == []
+
+    def test_randomized_churn_parity_closed(self):
+        table, schema = random_final_table(
+            1500, 8, sa_attributes={"g": 2, "a": 3},
+            ca_attributes={"r": 3, "s": 3}, seed=23, skew=0.3,
+        )
+        db = encode_table(table, schema)
+        rng = np.random.default_rng(29)
+        valid = np.ones(1500, dtype=bool)
+        engine = _closed_engine(db, min_population=15, min_minority=4)
+        state = engine.build_at(valid, 0)
+        for step in range(1, 4):
+            flips = rng.choice(1500, size=60, replace=False)
+            valid = valid.copy()
+            valid[flips] = ~valid[flips]
+            state = engine.update(state, valid, step)
+            scratch = _closed_scratch(
+                db, valid, min_population=15, min_minority=4
+            )
+            assert check_same_cells(state.cube, scratch, atol=0.0) == []
+
+
+class TestCellLevelCarry:
+    """Per-cell carry inside recomputed contexts.
+
+    A swap of one row for an attribute-identical row in the same unit
+    changes the context's cover (so the context is recomputed) but not
+    its unit-count vector — every cell whose segregation items were not
+    touched by the churn must then be carried verbatim, not re-evaluated.
+    """
+
+    def _swap_db(self):
+        # r=a: units 0/1, a fixed F/M mixture, plus one *spare* M row
+        # (attribute-identical to row 11) that is invalid at date 0.
+        rows = []
+        for i in range(12):
+            rows.append(("F" if i % 3 == 0 else "M", "a", i % 2))
+        rows += [("F" if i % 2 else "M", "b", i % 2) for i in range(12)]
+        rows.append(("M", "a", 11 % 2))   # spare; mirrors row 11
+        table = Table.from_rows(["g", "r", "unitID"], rows)
+        schema = Schema.build(
+            segregation=["g"], context=["r"], unit="unitID"
+        )
+        return encode_table(table, schema)
+
+    def _run_swap(self, mode):
+        db = self._swap_db()
+        builder = SegregationDataCubeBuilder(
+            engine="incremental", mode=mode, min_population=10,
+            min_minority=2, max_sa_items=1, max_ca_items=1,
+        )
+        engine = TemporalCubeEngine(db, builder)
+        valid0 = np.ones(25, dtype=bool)
+        valid0[24] = False                  # spare row out
+        valid1 = np.ones(25, dtype=bool)
+        valid1[11] = False                  # swap: row 11 out, spare in
+        s0 = engine.build_at(valid0, 0)
+        s1 = engine.update(s0, valid1, 1)
+        scratch = SegregationDataCubeBuilder(
+            mode=mode, min_population=10, min_minority=2,
+            max_sa_items=1, max_ca_items=1,
+        ).build_from_transactions(db.restrict(valid1))
+        return s1, scratch
+
+    @pytest.mark.parametrize("mode", ["all", "closed"])
+    def test_untouched_cells_in_affected_context_are_carried(self, mode):
+        s1, scratch = self._run_swap(mode)
+        extra = s1.cube.metadata.extra
+        # The swap touches items (g=M, r=a): context {r=a} recomputes,
+        # but its tvec is unchanged, so the g=F cell carries.
+        assert extra["n_recomputed_contexts"] >= 1
+        assert extra["n_carried_cells_within_affected"] >= 1
+        assert check_same_cells(s1.cube, scratch, atol=0.0) == []
+
+    @pytest.mark.parametrize("mode", ["all", "closed"])
+    def test_carry_and_recompute_partition_the_cube(self, mode):
+        s1, _ = self._run_swap(mode)
+        extra = s1.cube.metadata.extra
+        assert extra["n_carried_cells"] \
+            + extra["n_carried_cells_within_affected"] \
+            + extra["n_recomputed_cells"] == len(s1.cube)
 
 
 class TestContextTransitions:
@@ -279,14 +439,14 @@ class TestEngineGuards:
         with pytest.raises(CubeError, match="engine='incremental'"):
             TemporalCubeEngine(db, SegregationDataCubeBuilder())
 
-    def test_rejects_closed_mode(self, temporal):
+    def test_accepts_closed_mode(self, temporal):
         db, _ = temporal
-        with pytest.raises(CubeError, match="mode='all'"):
-            TemporalCubeEngine(
-                db,
-                SegregationDataCubeBuilder(engine="incremental",
-                                           mode="closed"),
-            )
+        engine = TemporalCubeEngine(
+            db,
+            SegregationDataCubeBuilder(engine="incremental",
+                                       mode="closed", **LIMITS),
+        )
+        assert engine.builder.mode == "closed"
 
     def test_requires_unit_labels(self):
         table = Table.from_dict({"g": ["F", "M"], "r": ["a", "b"]})
